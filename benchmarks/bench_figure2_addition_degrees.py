@@ -1,0 +1,30 @@
+"""Figure 2 — addition-kernel times of p1 for increasing degrees, per precision."""
+
+from __future__ import annotations
+
+from repro.analysis import figure2_data, format_grid
+from repro.analysis.paperdata import TABLE5_P1_V100
+
+from conftest import emit
+
+
+def test_figure2_report(benchmark):
+    data = benchmark(figure2_data)
+    model = {f"{limbs}d": series for limbs, series in data.items()}
+    paper = {
+        f"{limbs}d": {d: row["addition"] for d, row in degrees.items() if d <= 152}
+        for limbs, degrees in TABLE5_P1_V100.items()
+    }
+    text = (
+        format_grid(paper, "Figure 2 (addition kernels, ms) — paper", "precision", "degree")
+        + "\n\n"
+        + format_grid(model, "Figure 2 (addition kernels, ms) — model", "precision", "degree")
+    )
+    emit("figure2_addition_degrees", text)
+    for limbs, series in data.items():
+        degrees = sorted(series)
+        # The cost grows once the degree exceeds the warp size (paper's
+        # observation): degree 127 costs less than twice degree 63.
+        if 63 in series and 127 in series:
+            assert series[127] <= 2.5 * series[63]
+        assert series[degrees[-1]] >= series[degrees[0]]

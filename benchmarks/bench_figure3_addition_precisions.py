@@ -1,0 +1,21 @@
+"""Figure 3 — addition-kernel times at degree 152 for p1, p2, p3 per precision."""
+
+from __future__ import annotations
+
+from repro.analysis import figure3_data, format_grid
+
+from conftest import emit
+
+
+def test_figure3_report(benchmark):
+    data = benchmark(figure3_data)
+    grid = {name: {f"{limbs}d": value for limbs, value in series.items()} for name, series in data.items()}
+    emit("figure3_addition_precisions", format_grid(grid, "Figure 3 (addition kernels at d=152, ms) — model", "poly", "precision"))
+    for limbs in (1, 2, 4, 10):
+        # p3 performs the most additions, p2 the fewest (Table 2), and the
+        # paper observes p3's addition time is at most ~3x p2's.
+        assert data["p3"][limbs] > data["p1"][limbs] > data["p2"][limbs]
+        assert data["p3"][limbs] < 6.0 * data["p2"][limbs]
+    for name, series in data.items():
+        values = [series[k] for k in sorted(series)]
+        assert values == sorted(values)

@@ -1,0 +1,21 @@
+"""Figure 4 — percentage of the wall clock spent inside kernels."""
+
+from __future__ import annotations
+
+from repro.analysis import figure4_data, format_grid
+
+from conftest import emit
+
+
+def test_figure4_report(benchmark):
+    data = benchmark(figure4_data)
+    grid = {name: {f"{limbs}d": value for limbs, value in series.items()} for name, series in data.items()}
+    emit("figure4_kernel_percentage", format_grid(grid, "Figure 4 (% of wall clock in kernels, d=152) — model", "poly", "precision"))
+    for name, series in data.items():
+        # Double precision is dominated by launch overhead (<50% in kernels),
+        # octo/deca double precision by the kernels themselves (>90%).
+        assert series[1] < 50.0
+        assert series[8] > 90.0
+        assert series[10] > 90.0
+        values = [series[k] for k in sorted(series)]
+        assert values == sorted(values)

@@ -1,0 +1,37 @@
+"""Figure 5 — log2 wall clock at degree 191 for 1d/2d/4d/8d precision."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import figure5_data, format_grid
+from repro.analysis.paperdata import TABLE5_P1_V100, TABLE6_P2_V100, TABLE7_P3_V100
+
+from conftest import emit
+
+
+def test_figure5_report(benchmark):
+    data = benchmark(figure5_data)
+    paper_tables = {"p1": TABLE5_P1_V100, "p2": TABLE6_P2_V100, "p3": TABLE7_P3_V100}
+    paper = {
+        name: {
+            f"{limbs}d": math.log2(paper_tables[name][limbs][191]["wall clock"])
+            for limbs in (1, 2, 4, 8)
+        }
+        for name in ("p1", "p2", "p3")
+    }
+    model = {name: {f"{limbs}d": value for limbs, value in series.items()} for name, series in data.items()}
+    text = (
+        format_grid(paper, "Figure 5 (log2 wall clock, d=191) — paper", "poly", "precision")
+        + "\n\n"
+        + format_grid(model, "Figure 5 (log2 wall clock, d=191) — model", "poly", "precision")
+    )
+    emit("figure5_precision_overhead", text)
+    for name, series in data.items():
+        # Cost grows with precision, and the double-double over double
+        # overhead is far below the naive 5x (the paper observes ~2.3x for p1).
+        assert series[1] < series[2] < series[4] < series[8]
+        overhead_2d = 2.0 ** (series[2] - series[1])
+        assert overhead_2d < 5.0
+        # paper-vs-model: the 8d column is within one unit of log2.
+        assert abs(series[8] - paper[name]["8d"]) < 1.0

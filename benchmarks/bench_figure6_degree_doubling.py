@@ -1,0 +1,31 @@
+"""Figure 6 — log2 wall clock of p1 for 4d/5d/8d/10d at degrees 31, 63, 127."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import figure6_data, format_grid
+from repro.analysis.paperdata import TABLE5_P1_V100
+
+from conftest import emit
+
+
+def test_figure6_report(benchmark):
+    data = benchmark(figure6_data)
+    paper = {
+        f"{limbs}d": {d: math.log2(TABLE5_P1_V100[limbs][d]["wall clock"]) for d in (31, 63, 127)}
+        for limbs in (4, 5, 8, 10)
+    }
+    model = {f"{limbs}d": series for limbs, series in data.items()}
+    text = (
+        format_grid(paper, "Figure 6 (log2 wall clock) — paper", "precision", "degree")
+        + "\n\n"
+        + format_grid(model, "Figure 6 (log2 wall clock) — model", "precision", "degree")
+    )
+    emit("figure6_degree_doubling", text)
+    for limbs, series in data.items():
+        # Doubling the number of coefficients roughly doubles the time (the
+        # bars differ by about one in log2), not quadruples it, because the
+        # extra threads fill otherwise idle lanes.
+        assert 0.5 < series[63] - series[31] < 2.2
+        assert 0.5 < series[127] - series[63] < 2.2

@@ -1,0 +1,25 @@
+"""Section 6.2 — the double-operation bookkeeping and the 1.25 TFLOPS headline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_comparison, section62_model
+from repro.analysis.paperdata import SECTION62_FLOP_COUNTS
+
+from conftest import emit
+
+
+def test_section62_report(benchmark):
+    model = benchmark(section62_model)
+    paper = {
+        "total double ops": float(SECTION62_FLOP_COUNTS["total_double_ops"]),
+        "TFLOPS on P100": SECTION62_FLOP_COUNTS["p100_tflops"],
+    }
+    mine = {
+        "total double ops": model["total_double_ops"],
+        "TFLOPS on P100": model["tflops"],
+    }
+    emit("section62_flops", format_comparison(paper, mine, "Section 6.2 — flop accounting (paper vs model)"))
+    assert model["total_double_ops"] == SECTION62_FLOP_COUNTS["total_double_ops"]
+    assert model["tflops"] == pytest.approx(SECTION62_FLOP_COUNTS["p100_tflops"], abs=0.01)

@@ -1,0 +1,36 @@
+"""Table 1 — characteristics of the five (simulated) GPUs.
+
+Real work measured: instantiating the timing model and predicting one launch
+on every device (the per-evaluation cost of the performance model itself).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.gpusim import TABLE1_DEVICES, TimingModel
+
+from conftest import emit
+
+
+def test_table1_report(benchmark):
+    def build_rows():
+        rows = {}
+        for key, device in TABLE1_DEVICES.items():
+            model = TimingModel(key, 10)
+            launch = model.convolution_launch(blocks=1820, degree=152)
+            rows[key] = {
+                "CUDA": device.cuda_capability,
+                "#MP": device.multiprocessors,
+                "#cores/MP": device.cores_per_mp,
+                "#cores": device.cores,
+                "GHz": device.clock_ghz,
+                "peak DP GFLOPS": device.peak_double_gflops,
+                "1 launch (ms)": launch.kernel_ms,
+            }
+        return rows
+
+    rows = benchmark(build_rows)
+    emit("table1_devices", format_table(rows, "Table 1 — devices (plus modelled peak and one 1820-block launch)"))
+    assert rows["V100"]["#cores"] == 5120
+    assert rows["C2050"]["#cores"] == 448
+    assert rows["V100"]["1 launch (ms)"] < rows["P100"]["1 launch (ms)"]

@@ -1,0 +1,39 @@
+"""Table 2 — job counts of the three test polynomials.
+
+Real work measured: running the data staging algorithm (layout + convolution
+jobs + addition tree) for the full ``p1`` and ``p3`` structures.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, table2_model
+from repro.analysis.paperdata import TABLE2_JOBS
+from repro.circuits.testpolys import p1_structure, p3_structure
+from repro.core import build_schedule
+
+from conftest import emit
+
+
+def test_table2_report(benchmark):
+    model = benchmark(table2_model)
+    paper = {
+        name: {"n": n, "m": m, "N": N, "#cnv": cnv, "#add": add}
+        for name, (n, m, N, cnv, add) in TABLE2_JOBS.items()
+    }
+    text = format_table(paper, "Table 2 — paper") + "\n\n" + format_table(model, "Table 2 — this reproduction")
+    emit("table2_jobs", text)
+    for name in ("p1", "p2", "p3"):
+        assert model[name]["#add"] == paper[name]["#add"]
+
+
+def test_stage_p1_schedule(benchmark):
+    n, supports = p1_structure()
+    schedule = benchmark(build_schedule, n, supports, 0)
+    assert schedule.convolution_job_count == 16380
+    assert schedule.addition_job_count == 9084
+
+
+def test_stage_p3_schedule(benchmark):
+    n, supports = p3_structure()
+    schedule = benchmark(build_schedule, n, supports, 0)
+    assert schedule.addition_job_count == 24256

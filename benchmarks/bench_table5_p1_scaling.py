@@ -1,0 +1,35 @@
+"""Table 5 — p1 on the V100 for increasing degree and precision."""
+
+from __future__ import annotations
+
+from repro.analysis import format_grid, table5_model
+from repro.analysis.paperdata import TABLE5_P1_V100
+
+from conftest import emit
+
+
+def test_table5_report(benchmark):
+    model = benchmark(table5_model)
+    paper_wall = {
+        f"{limbs}d": {d: row["wall clock"] for d, row in degrees.items()}
+        for limbs, degrees in TABLE5_P1_V100.items()
+    }
+    model_wall = {
+        f"{limbs}d": {d: row["wall clock"] for d, row in degrees.items()}
+        for limbs, degrees in model.items()
+    }
+    text = (
+        format_grid(paper_wall, "Table 5 (wall clock, ms) — paper", "precision", "degree")
+        + "\n\n"
+        + format_grid(model_wall, "Table 5 (wall clock, ms) — model", "precision", "degree")
+    )
+    emit("table5_p1_v100", text)
+    # The deca-double column stops at degree 152 in both paper and model.
+    assert max(model[10]) == 152
+    # Shape check: within each precision the times grow monotonically with degree.
+    for limbs, degrees in model.items():
+        values = [degrees[d]["sum"] for d in sorted(degrees)]
+        assert values == sorted(values)
+    # Crossover check at d=152: higher precision is always slower.
+    walls = [model[limbs][152]["wall clock"] for limbs in (1, 2, 3, 4, 5, 8, 10)]
+    assert walls == sorted(walls)

@@ -1,0 +1,33 @@
+"""Table 6 — p2 on the V100 for increasing degree and precision."""
+
+from __future__ import annotations
+
+from repro.analysis import format_grid, table6_model
+from repro.analysis.paperdata import TABLE6_P2_V100
+
+from conftest import emit
+
+
+def test_table6_report(benchmark):
+    model = benchmark(table6_model)
+    model_conv = {
+        f"{limbs}d": {d: row["convolution"] for d, row in degrees.items()}
+        for limbs, degrees in model.items()
+    }
+    paper_conv = {
+        f"{limbs}d": {d: row["convolution"] for d, row in degrees.items()}
+        for limbs, degrees in TABLE6_P2_V100.items()
+    }
+    text = (
+        format_grid(paper_conv, "Table 6 (convolution kernels, ms) — paper", "precision", "degree")
+        + "\n\n"
+        + format_grid(model_conv, "Table 6 (convolution kernels, ms) — model", "precision", "degree")
+    )
+    emit("table6_p2_v100", text)
+    # p2's wall clock is dominated by launch overhead at low precision
+    # (the paper reports ~26 ms of overhead for its 72 launches).
+    assert model[1][0]["wall clock"] > 10 * model[1][0]["sum"]
+    # At deca-double the kernels dominate instead.
+    assert model[10][152]["sum"] > 0.9 * model[10][152]["wall clock"]
+    # Convolution times at the calibration-adjacent corner stay in range.
+    assert 0.4 < model[10][152]["convolution"] / TABLE6_P2_V100[10][152]["convolution"] < 1.6

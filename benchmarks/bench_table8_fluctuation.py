@@ -1,0 +1,25 @@
+"""Table 8 — wall-clock fluctuation over repeated runs (p3, deca double, d=152)."""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, table8_model
+from repro.analysis.paperdata import TABLE8_FLUCTUATION
+
+from conftest import emit
+
+
+def test_table8_report(benchmark):
+    fixed = benchmark(table8_model, runs=10, fixed_seed=True)
+    varied = table8_model(runs=10, fixed_seed=False)
+    rows = {
+        "paper, fixed seed one": {str(k): v for k, v in TABLE8_FLUCTUATION["fixed seed one"].items()},
+        "paper, different seeds": {str(k): v for k, v in TABLE8_FLUCTUATION["different seeds"].items()},
+        "model, fixed seed one": {str(k): v for k, v in fixed.items()},
+        "model, different seeds": {str(k): v for k, v in varied.items()},
+    }
+    emit("table8_fluctuation", format_table(rows, "Table 8 — wall clock frequencies over 10 runs"))
+    assert sum(fixed.values()) == 10
+    assert sum(varied.values()) == 10
+    # The spread stays within a handful of milliseconds, as in the paper.
+    assert max(fixed) - min(fixed) <= 8
+    assert max(varied) - min(varied) <= 8

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_table*.py`` / ``bench_figure*.py`` module regenerates one table
+or figure of the paper's evaluation section.  Besides timing a representative
+piece of real work with pytest-benchmark, each module writes the regenerated
+(paper vs. model) table to ``benchmarks/results/<name>.txt`` so the output
+survives pytest's output capturing; EXPERIMENTS.md aggregates the same data.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated table and persist it under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's headline performance tables with the simulated GPUs.
+
+Regenerates Table 3 (p1 at degree 152 in deca double precision on five GPUs),
+Table 4 (p2/p3 on P100 and V100) and the Section 6.2 TFLOPS bookkeeping, and
+prints them next to the published numbers.
+
+Run with::
+
+    python examples/gpu_performance_model.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    format_table,
+    section62_model,
+    table3_model,
+    table4_model,
+)
+from repro.analysis.paperdata import SECTION62_FLOP_COUNTS, TABLE3_P1_DECA_D152, TABLE4_DECA_D152
+
+
+def main() -> None:
+    print(format_table(TABLE3_P1_DECA_D152, "Table 3 (paper): p1, d=152, deca double"))
+    print()
+    print(format_table(table3_model(), "Table 3 (model): p1, d=152, deca double"))
+    print()
+
+    model4 = table4_model()
+    flat_paper = {f"{p}/{d}": row for p, devs in TABLE4_DECA_D152.items() for d, row in devs.items()}
+    flat_model = {f"{p}/{d}": row for p, devs in model4.items() for d, row in devs.items()}
+    print(format_table(flat_paper, "Table 4 (paper): p2/p3, d=152, deca double"))
+    print()
+    print(format_table(flat_model, "Table 4 (model): p2/p3, d=152, deca double"))
+    print()
+
+    analysis = section62_model()
+    print("Section 6.2 flop accounting:")
+    print(f"  total double operations : {analysis['total_double_ops']:.0f}"
+          f"  (paper: {SECTION62_FLOP_COUNTS['total_double_ops']})")
+    print(f"  sustained TFLOPS on P100: {analysis['tflops']:.3f}"
+          f"  (paper: {SECTION62_FLOP_COUNTS['p100_tflops']})")
+
+
+if __name__ == "__main__":
+    main()

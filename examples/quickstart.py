@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: evaluate a polynomial and its gradient at power series.
+
+This example builds a small polynomial in four variables, evaluates it and
+its full gradient at random power series truncated at degree 8 in quad double
+precision, and cross-checks the staged (paper) algorithm against the
+sequential reference evaluator.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import PolynomialEvaluator, parse_polynomial
+from repro.series import random_md_series
+
+DEGREE = 8
+PRECISION = 4  # quad double
+
+
+def main() -> None:
+    rng = random.Random(2021)
+
+    # A polynomial in 4 variables with constant power-series coefficients.
+    polynomial = parse_polynomial(
+        "1 + 2*x1*x2*x3 - 0.75*x2*x4 + x1*x3^2",
+        degree=DEGREE,
+        kind="md",
+        precision=PRECISION,
+    )
+    print("polynomial:", polynomial)
+    print("schedule  :", PolynomialEvaluator(polynomial).job_summary())
+
+    # The input: one random power series per variable, truncated at DEGREE.
+    z = [random_md_series(DEGREE, PRECISION, rng) for _ in range(polynomial.dimension)]
+
+    staged = PolynomialEvaluator(polynomial, mode="staged").evaluate(z)
+    reference = PolynomialEvaluator(polynomial, mode="reference").evaluate(z)
+
+    print("\nvalue of p(z), leading coefficients:")
+    for k in range(4):
+        print(f"  t^{k}: {staged.value.coefficients[k].to_decimal_string(30)}")
+
+    print("\npartial derivatives at t^0:")
+    for variable, series in enumerate(staged.gradient, start=1):
+        print(f"  d p / d x{variable}: {series.coefficients[0].to_decimal_string(30)}")
+
+    print(f"\nstaged vs reference max coefficient difference: {staged.max_difference(reference):.3e}")
+    print("(zero up to the quad-double rounding level — the staged algorithm is exact)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setuptools entry point.
+
+The project is configured through ``pyproject.toml``; this shim exists so the
+package can be installed in environments whose ``setuptools``/``pip`` are too
+old (or offline) to perform PEP-517 editable installs, e.g.::
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

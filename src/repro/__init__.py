@@ -1,0 +1,110 @@
+"""repro — accelerated polynomial evaluation and differentiation at power series.
+
+A Python reproduction of
+
+    Jan Verschelde, "Accelerated Polynomial Evaluation and Differentiation at
+    Power Series in Multiple Double Precision", IPDPS Workshops (PDSEC) 2021,
+    arXiv:2101.10881.
+
+The package is organised in layers (see DESIGN.md for the full inventory):
+
+``repro.md``
+    Multiple-double arithmetic: error-free transformations, renormalisation,
+    scalar and structure-of-arrays types, the precision registry and the
+    double-operation cost model.
+``repro.series``
+    Truncated power series and the convolution algorithms of Section 2.
+``repro.circuits``
+    Monomials, polynomials, the sequential reference evaluator and the
+    paper's test polynomials ``p1``, ``p2``, ``p3``.
+``repro.core``
+    The paper's contribution: the data layout of the flat array ``A``, the
+    data staging of convolution and addition jobs into layers, and the
+    :class:`PolynomialEvaluator` front end.
+``repro.gpusim``
+    The simulated GPU substrate: Table 1 device specs, the shared-memory
+    capacity model, functional kernels and the calibrated timing model.
+``repro.parallel``
+    Host-side multi-threaded execution of the layered schedule.
+``repro.homotopy``
+    The motivating application: power-series Newton and a small path tracker.
+``repro.analysis``
+    Drivers that regenerate every table and figure of the evaluation section.
+
+Quickstart
+----------
+>>> from repro import parse_polynomial, PolynomialEvaluator
+>>> from repro.series import random_md_series
+>>> p = parse_polynomial("1 + x1*x2*x3 + x2*x4", degree=8, kind="md", precision=4)
+>>> z = [random_md_series(8, precision=4) for _ in range(4)]
+>>> result = PolynomialEvaluator(p, mode="staged").evaluate(z)
+>>> len(result.gradient)
+4
+"""
+
+from ._version import __version__
+from .errors import (
+    ReproError,
+    PrecisionError,
+    TruncationError,
+    StagingError,
+    DeviceCapacityError,
+    ConvergenceError,
+    SingularSystemError,
+    ParseError,
+)
+from .md import MultiDouble, MDArray, ComplexMD, ComplexMDArray, Precision, get_precision
+from .series import PowerSeries, MDSeries
+from .circuits import (
+    Monomial,
+    Polynomial,
+    EvaluationResult,
+    evaluate_reference,
+    parse_polynomial,
+    make_p1,
+    make_p2,
+    make_p3,
+    random_polynomial,
+)
+from .core import PolynomialEvaluator, JobSchedule, DataLayout, build_schedule, schedule_for_polynomial
+from .gpusim import DeviceSpec, TABLE1_DEVICES, get_device, GPUSimulator, TimingModel, TimingReport
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "PrecisionError",
+    "TruncationError",
+    "StagingError",
+    "DeviceCapacityError",
+    "ConvergenceError",
+    "SingularSystemError",
+    "ParseError",
+    "MultiDouble",
+    "MDArray",
+    "ComplexMD",
+    "ComplexMDArray",
+    "Precision",
+    "get_precision",
+    "PowerSeries",
+    "MDSeries",
+    "Monomial",
+    "Polynomial",
+    "EvaluationResult",
+    "evaluate_reference",
+    "parse_polynomial",
+    "make_p1",
+    "make_p2",
+    "make_p3",
+    "random_polynomial",
+    "PolynomialEvaluator",
+    "JobSchedule",
+    "DataLayout",
+    "build_schedule",
+    "schedule_for_polynomial",
+    "DeviceSpec",
+    "TABLE1_DEVICES",
+    "get_device",
+    "GPUSimulator",
+    "TimingModel",
+    "TimingReport",
+]

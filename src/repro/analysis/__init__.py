@@ -1,0 +1,45 @@
+"""Experiment drivers, paper reference data and table formatting."""
+
+from . import paperdata
+from .tables import format_table, format_grid, format_comparison
+from .experiments import (
+    LaunchStructure,
+    launch_structure,
+    table2_model,
+    table3_model,
+    table4_model,
+    scaling_table_model,
+    table5_model,
+    table6_model,
+    table7_model,
+    table8_model,
+    figure2_data,
+    figure3_data,
+    figure4_data,
+    figure5_data,
+    figure6_data,
+    section62_model,
+)
+
+__all__ = [
+    "paperdata",
+    "format_table",
+    "format_grid",
+    "format_comparison",
+    "LaunchStructure",
+    "launch_structure",
+    "table2_model",
+    "table3_model",
+    "table4_model",
+    "scaling_table_model",
+    "table5_model",
+    "table6_model",
+    "table7_model",
+    "table8_model",
+    "figure2_data",
+    "figure3_data",
+    "figure4_data",
+    "figure5_data",
+    "figure6_data",
+    "section62_model",
+]

@@ -1,0 +1,86 @@
+"""Plain-text table formatting for the experiment drivers and benchmarks.
+
+The benchmark harness prints the regenerated tables next to the paper's
+numbers; these helpers keep that output aligned and readable without pulling
+in any plotting or tabulation dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_grid", "format_comparison"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0.00"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(rows: Mapping[str, Mapping[str, object]], title: str = "", row_label: str = "") -> str:
+    """Format a mapping of ``row -> column -> value`` as an aligned text table."""
+    if not rows:
+        return title
+    columns: list[str] = []
+    for row in rows.values():
+        for column in row:
+            if column not in columns:
+                columns.append(column)
+    header = [row_label or ""] + columns
+    body = [[str(name)] + [_fmt(row.get(c, "")) for c in columns] for name, row in rows.items()]
+    widths = [max(len(line[i]) for line in [header] + body) for i in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_grid(
+    grid: Mapping[object, Mapping[object, object]],
+    title: str = "",
+    row_label: str = "",
+    column_label: str = "",
+) -> str:
+    """Format ``grid[row][column] -> value`` (e.g. precision x degree tables)."""
+    rows = {
+        str(row): {str(column): value for column, value in columns.items()}
+        for row, columns in grid.items()
+    }
+    label = row_label if not column_label else f"{row_label}\\{column_label}"
+    return format_table(rows, title=title, row_label=label)
+
+
+def format_comparison(
+    paper: Mapping[str, float],
+    model: Mapping[str, float],
+    title: str = "",
+) -> str:
+    """Two-column paper-vs-model table with the ratio."""
+    rows = {}
+    for key in paper:
+        p = paper[key]
+        m = model.get(key)
+        if m is None:
+            continue
+        rows[key] = {
+            "paper": p,
+            "model": m,
+            "model/paper": (m / p) if p else float("inf"),
+        }
+    return format_table(rows, title=title)
+
+
+def columns_to_series(rows: Mapping[str, Mapping[str, float]], column: str) -> dict[str, float]:
+    """Extract one column of a row-major table as a flat mapping."""
+    return {name: row[column] for name, row in rows.items() if column in row}

@@ -1,0 +1,39 @@
+"""Polynomials, monomials and the sequential reference evaluator."""
+
+from .monomial import Monomial
+from .polynomial import Polynomial
+from .powers import PowerTable
+from .reference import EvaluationResult, evaluate_reference, evaluate_value_only
+from .parser import parse_polynomial
+from .testpolys import (
+    p1_structure,
+    p2_structure,
+    p3_structure,
+    structure_for,
+    make_p1,
+    make_p2,
+    make_p3,
+    make_polynomial_from_structure,
+    random_polynomial,
+    PAPER_POLYNOMIALS,
+)
+
+__all__ = [
+    "Monomial",
+    "Polynomial",
+    "PowerTable",
+    "EvaluationResult",
+    "evaluate_reference",
+    "evaluate_value_only",
+    "parse_polynomial",
+    "p1_structure",
+    "p2_structure",
+    "p3_structure",
+    "structure_for",
+    "make_p1",
+    "make_p2",
+    "make_p3",
+    "make_polynomial_from_structure",
+    "random_polynomial",
+    "PAPER_POLYNOMIALS",
+]

@@ -1,0 +1,159 @@
+"""Monomials with power-series coefficients.
+
+A :class:`Monomial` is ``a * x_{i1}^{e1} * x_{i2}^{e2} * ... * x_{im}^{em}``
+where the coefficient ``a`` is a truncated power series and the variable
+indices are distinct.  The paper's kernels operate on *multilinear* monomials
+(all exponents equal to one); higher powers are reduced to that case by the
+common-factor trick of Section 3: ``x1^3 * x2^5`` is rewritten as
+``ã * x1 * x2`` with ``ã = a * x1^2 * x2^4``, because the common factor
+appears both in the value and in every partial derivative.  The only
+correction needed afterwards is the multiplication of the derivative with
+respect to ``x_i`` by the integer exponent ``e_i``.
+
+:meth:`Monomial.split_common_factor` performs exactly that rewriting; the
+evaluators use it so that general monomials flow through the same
+forward/backward/cross product machinery as the paper's test polynomials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..errors import StagingError
+from ..series.series import PowerSeries
+
+__all__ = ["Monomial"]
+
+
+@dataclass(frozen=True)
+class Monomial:
+    """One monomial of a polynomial in ``n`` variables.
+
+    Attributes
+    ----------
+    coefficient:
+        The power-series coefficient ``a_k``.
+    exponents:
+        Mapping from 0-based variable index to a positive integer exponent.
+    """
+
+    coefficient: PowerSeries
+    exponents: tuple[tuple[int, int], ...]
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def make(coefficient: PowerSeries, exponents) -> "Monomial":
+        """Build a monomial from a mapping/sequence of exponents.
+
+        ``exponents`` may be a mapping ``{variable: exponent}``, a sequence of
+        ``(variable, exponent)`` pairs, or a plain sequence of variable
+        indices (each implicitly to the first power, repeats accumulate).
+        """
+        pairs: dict[int, int] = {}
+        if isinstance(exponents, Mapping):
+            items = exponents.items()
+        elif exponents and isinstance(exponents[0], (tuple, list)):
+            items = exponents
+        else:
+            items = [(int(v), 1) for v in exponents]
+            merged: dict[int, int] = {}
+            for v, e in items:
+                merged[v] = merged.get(v, 0) + e
+            items = merged.items()
+        for variable, exponent in items:
+            variable = int(variable)
+            exponent = int(exponent)
+            if variable < 0:
+                raise StagingError(f"variable index must be >= 0, got {variable}")
+            if exponent <= 0:
+                raise StagingError(f"exponent must be positive, got {exponent}")
+            pairs[variable] = pairs.get(variable, 0) + exponent
+        ordered = tuple(sorted(pairs.items()))
+        if not ordered:
+            raise StagingError("a monomial needs at least one variable (use the polynomial constant otherwise)")
+        return Monomial(coefficient, ordered)
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    @property
+    def support(self) -> tuple[int, ...]:
+        """The distinct variable indices, sorted increasingly (``i1 < i2 < ...``)."""
+        return tuple(v for v, _ in self.exponents)
+
+    @property
+    def n_variables(self) -> int:
+        """``n_k`` — how many distinct variables appear."""
+        return len(self.exponents)
+
+    @property
+    def total_degree(self) -> int:
+        """Sum of the exponents."""
+        return sum(e for _, e in self.exponents)
+
+    @property
+    def is_multilinear(self) -> bool:
+        """True when every exponent equals one (the kernels' native case)."""
+        return all(e == 1 for _, e in self.exponents)
+
+    def exponent_of(self, variable: int) -> int:
+        """Exponent of ``variable`` (zero when it does not appear)."""
+        for v, e in self.exponents:
+            if v == variable:
+                return e
+        return 0
+
+    def convolution_job_count(self) -> int:
+        """Number of convolution jobs this monomial generates (``3*nk - 3``).
+
+        Special cases: one variable needs a single convolution (the forward
+        product with the coefficient); two variables need three.  The common
+        factor of non-multilinear monomials adds the jobs needed to multiply
+        the powers into the coefficient (handled by the power table, counted
+        separately).
+        """
+        nk = self.n_variables
+        if nk == 1:
+            return 1
+        if nk == 2:
+            return 3
+        return 3 * nk - 3
+
+    # ------------------------------------------------------------------ #
+    # common-factor extraction (Section 3)
+    # ------------------------------------------------------------------ #
+    def split_common_factor(self, z: Sequence[PowerSeries], power_table=None) -> tuple[PowerSeries, "Monomial", dict[int, int]]:
+        """Rewrite ``a * prod x_i^{e_i}`` as ``ã * prod x_i`` at the point ``z``.
+
+        Returns ``(ã, multilinear_monomial, scaling)`` where ``ã`` is the
+        coefficient multiplied by the common factor ``prod z_i^{e_i - 1}``
+        evaluated at ``z``, the monomial is the multilinear shadow of this
+        one, and ``scaling[variable] = e_i`` records the integer factors that
+        must multiply the partial derivatives afterwards.
+        """
+        from .powers import PowerTable
+
+        if self.is_multilinear:
+            return self.coefficient, Monomial(self.coefficient, self.exponents), {}
+        table = power_table if power_table is not None else PowerTable(z)
+        adjusted = self.coefficient
+        scaling: dict[int, int] = {}
+        for variable, exponent in self.exponents:
+            if exponent > 1:
+                adjusted = adjusted * table.power(variable, exponent - 1)
+                scaling[variable] = exponent
+        shadow = Monomial(adjusted, tuple((v, 1) for v, _ in self.exponents))
+        return adjusted, shadow, scaling
+
+    def __str__(self) -> str:
+        parts = []
+        for variable, exponent in self.exponents:
+            name = f"x{variable + 1}"
+            parts.append(name if exponent == 1 else f"{name}^{exponent}")
+        return "*".join(parts)
+
+    def __repr__(self) -> str:
+        return f"Monomial({self}, coefficient degree {self.coefficient.degree})"

@@ -1,0 +1,126 @@
+"""A small parser for human-readable polynomials.
+
+The library's data model (supports + power-series coefficients) is what the
+staging algorithm wants, but examples and interactive use are much nicer with
+strings such as ``"1 + 2.5*x1*x3^2 - x2*x4"``.  :func:`parse_polynomial`
+turns such a string into a :class:`repro.circuits.Polynomial` whose constant
+numeric coefficients are promoted to constant power series of the requested
+degree and coefficient ring.
+
+Grammar (whitespace insensitive)::
+
+    polynomial := term (('+' | '-') term)*
+    term       := [coefficient '*'] factor ('*' factor)*  |  coefficient
+    factor     := variable ['^' exponent]
+    variable   := 'x' index          (1-based, as in the paper)
+    coefficient:= decimal literal
+
+Repeated variables within a term multiply their exponents; repeated identical
+supports are kept as separate monomials (the evaluator sums them anyway).
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+
+from ..errors import ParseError
+from ..md.multidouble import MultiDouble
+from ..md.precision import get_precision
+from ..series.series import PowerSeries
+from .monomial import Monomial
+from .polynomial import Polynomial
+
+__all__ = ["parse_polynomial"]
+
+# Split on the +/- that separate terms, but not on the sign of an exponent
+# inside a scientific-notation literal such as 2e-3.
+_TERM_SPLIT = re.compile(r"(?<![eE])(?=[+-])")
+_FACTOR = re.compile(r"^x(\d+)(?:\^(\d+))?$")
+_NUMBER = re.compile(r"^[+-]?(\d+(\.\d*)?|\.\d+)([eE][+-]?\d+)?$")
+
+
+def _promote(value: Fraction, degree: int, kind: str, precision) -> PowerSeries:
+    """Promote a rational constant to a constant series in the target ring."""
+    if kind == "float":
+        return PowerSeries.constant(float(value), degree)
+    if kind == "fraction":
+        return PowerSeries.constant(value, degree)
+    if kind == "md":
+        prec = get_precision(precision)
+        return PowerSeries.constant(MultiDouble.from_fraction(value, prec), degree)
+    raise ParseError(f"unsupported coefficient kind {kind!r}")
+
+
+def parse_polynomial(
+    text: str,
+    dimension: int | None = None,
+    degree: int = 0,
+    kind: str = "float",
+    precision=2,
+) -> Polynomial:
+    """Parse a polynomial string into a :class:`Polynomial`.
+
+    Parameters
+    ----------
+    text:
+        The polynomial, e.g. ``"3 + x1*x2 - 0.5*x2^3*x4"``.
+    dimension:
+        Number of variables; inferred from the largest index when omitted.
+    degree:
+        Truncation degree of the constant coefficient series.
+    kind / precision:
+        Coefficient ring: ``"float"``, ``"fraction"`` or ``"md"`` (with the
+        given multiple-double precision).
+    """
+    stripped = text.replace(" ", "")
+    if not stripped:
+        raise ParseError("empty polynomial string")
+    chunks = [c for c in _TERM_SPLIT.split(stripped) if c]
+    constant = Fraction(0)
+    parsed_terms: list[tuple[Fraction, dict[int, int]]] = []
+    max_index = 0
+    for chunk in chunks:
+        sign = Fraction(1)
+        body = chunk
+        if body[0] == "+":
+            body = body[1:]
+        elif body[0] == "-":
+            sign = Fraction(-1)
+            body = body[1:]
+        if not body:
+            raise ParseError(f"dangling sign in {text!r}")
+        coefficient = Fraction(1)
+        exponents: dict[int, int] = {}
+        for factor in body.split("*"):
+            if not factor:
+                raise ParseError(f"empty factor in term {chunk!r}")
+            match = _FACTOR.match(factor)
+            if match:
+                index = int(match.group(1))
+                if index < 1:
+                    raise ParseError(f"variable indices are 1-based, got {factor!r}")
+                exponent = int(match.group(2)) if match.group(2) else 1
+                exponents[index - 1] = exponents.get(index - 1, 0) + exponent
+                max_index = max(max_index, index)
+            elif _NUMBER.match(factor):
+                coefficient *= Fraction(factor)
+            else:
+                raise ParseError(f"cannot parse factor {factor!r} in term {chunk!r}")
+        coefficient *= sign
+        if exponents:
+            parsed_terms.append((coefficient, exponents))
+        else:
+            constant += coefficient
+    if dimension is None:
+        dimension = max(max_index, 1)
+    elif max_index > dimension:
+        raise ParseError(
+            f"the string uses variable x{max_index} but dimension={dimension} was requested"
+        )
+    constant_series = _promote(constant, degree, kind, precision)
+    monomials = [
+        Monomial.make(_promote(coefficient, degree, kind, precision), exponents)
+        for coefficient, exponents in parsed_terms
+    ]
+    return Polynomial(dimension, constant_series, monomials)

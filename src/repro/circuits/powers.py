@@ -1,0 +1,51 @@
+"""Table of powers of the input series (Section 3, common-factor evaluation).
+
+Monomials with exponents larger than one are reduced to multilinear monomials
+by folding the *common factor* ``prod z_i^{e_i - 1}`` into the coefficient
+series.  Those powers are shared by many monomials, so they are computed once
+per input vector and cached here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..series.series import PowerSeries
+
+__all__ = ["PowerTable"]
+
+
+class PowerTable:
+    """Caches ``z_i^e`` for the input series vector ``z``.
+
+    Powers are built incrementally (``z^e = z^{e-1} * z``) so requesting all
+    powers up to ``e`` costs exactly ``e - 1`` convolutions per variable,
+    which matches how a table of powers would be staged on the device.
+    """
+
+    def __init__(self, z: Sequence[PowerSeries]):
+        self._z = list(z)
+        self._cache: dict[tuple[int, int], PowerSeries] = {}
+
+    @property
+    def dimension(self) -> int:
+        """Number of variables."""
+        return len(self._z)
+
+    def power(self, variable: int, exponent: int) -> PowerSeries:
+        """Return ``z_variable ** exponent`` (exponent >= 1)."""
+        if exponent < 1:
+            raise ValueError("the power table only stores positive powers")
+        if exponent == 1:
+            return self._z[variable]
+        key = (variable, exponent)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        value = self.power(variable, exponent - 1) * self._z[variable]
+        self._cache[key] = value
+        return value
+
+    def convolutions_performed(self) -> int:
+        """How many convolutions the cached powers required so far."""
+        return len(self._cache)

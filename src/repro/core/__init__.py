@@ -1,0 +1,24 @@
+"""The paper's primary contribution: data staging and the accelerated evaluator."""
+
+from .jobs import ConvolutionJob, AdditionJob, ScaleJob
+from .layout import DataLayout
+from .staging import ConvolutionStage, MonomialProducts, stage_convolutions
+from .addition_tree import AdditionStage, stage_additions
+from .schedule import JobSchedule, build_schedule, schedule_for_polynomial
+from .evaluator import PolynomialEvaluator
+
+__all__ = [
+    "ConvolutionJob",
+    "AdditionJob",
+    "ScaleJob",
+    "DataLayout",
+    "ConvolutionStage",
+    "MonomialProducts",
+    "stage_convolutions",
+    "AdditionStage",
+    "stage_additions",
+    "JobSchedule",
+    "build_schedule",
+    "schedule_for_polynomial",
+    "PolynomialEvaluator",
+]

@@ -1,0 +1,152 @@
+"""Data staging for the addition stage (Section 5, tree summation).
+
+After the convolution stage every monomial's value and partial derivatives
+sit in known slots of the data array.  The addition stage sums, per output,
+
+* the value group: the last forward product of every monomial plus the
+  constant ``a_0``;
+* one group per variable ``v``: the derivative slots of the monomials that
+  contain ``v``.
+
+The summation is a balanced pairing tree: at every level adjacent items are
+paired and the right one is added into the left one (``A[target] += A[source]``),
+an odd straggler is carried to the next level.  All groups advance level by
+level together, and the jobs of one level across all groups form one kernel
+launch — this scheme reproduces exactly the eleven launch sizes the paper
+reports for ``p1`` (4542, 2279, 1140, 562, 281, 140, 78, 39, 20, 2, 1).
+
+Accumulation targets must be writable product slots; read-only slots (the
+constant ``a_0``, and coefficient slots acting as derivatives of
+single-variable monomials) are kept at the end of their group so they are
+only ever used as sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .jobs import AdditionJob
+from .layout import DataLayout
+from .staging import MonomialProducts
+
+__all__ = ["AdditionStage", "stage_additions"]
+
+
+@dataclass
+class AdditionStage:
+    """All addition jobs, grouped by tree level, plus the output locations."""
+
+    layout: DataLayout
+    jobs: list[AdditionJob] = field(default_factory=list)
+    #: Slot holding p(z) after the stage.
+    value_slot: int = 0
+    #: Slot holding d p / d x_v for every variable v (only variables that
+    #: appear in at least one monomial are present).
+    gradient_slots: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def n_layers(self) -> int:
+        """Number of kernel launches needed by the addition stage."""
+        if not self.jobs:
+            return 0
+        return max(job.layer for job in self.jobs)
+
+    def layers(self) -> list[list[AdditionJob]]:
+        """Jobs grouped by level (index 0 holds level 1)."""
+        grouped: list[list[AdditionJob]] = [[] for _ in range(self.n_layers)]
+        for job in self.jobs:
+            grouped[job.layer - 1].append(job)
+        return grouped
+
+    def layer_sizes(self) -> list[int]:
+        """Number of blocks per kernel launch (one entry per level)."""
+        return [len(layer) for layer in self.layers()]
+
+    @property
+    def job_count(self) -> int:
+        return len(self.jobs)
+
+
+def stage_additions(layout: DataLayout, products: list[MonomialProducts]) -> AdditionStage:
+    """Build the tree-summation jobs for one polynomial structure."""
+    stage = AdditionStage(layout=layout)
+
+    # ------------------------------------------------------------------ #
+    # Build the output groups.
+    # ------------------------------------------------------------------ #
+    value_group = [p.value_slot for p in products] + [layout.constant_slot()]
+    derivative_groups: dict[int, list[int]] = {}
+    for p in products:
+        for variable, slot in p.derivative_slots.items():
+            derivative_groups.setdefault(variable, []).append(slot)
+
+    groups: list[tuple[str, list[int]]] = [("value", value_group)]
+    for variable in sorted(derivative_groups):
+        groups.append((f"d/dx{variable}", derivative_groups[variable]))
+
+    # Keep read-only slots (inputs) at the end of their group so the pairing
+    # never chooses them as accumulation targets; relative order of writable
+    # slots is preserved.  A group may contain at most one read-only slot
+    # without extra work (it then only ever acts as a source); groups with
+    # several read-only contributions (several single-variable monomials
+    # sharing a variable) first copy them into the spare backward slots the
+    # layout reserves for single-variable monomials ("seed" jobs at level 1).
+    scratch_for_coefficient: dict[int, int] = {}
+    for k, support in enumerate(layout.supports):
+        if len(support) == 1:
+            scratch_for_coefficient[layout.coefficient_slot(k)] = layout.backward_slot(k, 1)
+
+    ordered_groups: list[tuple[str, list[int]]] = []
+    start_level: dict[str, int] = {}
+    for name, items in groups:
+        writable = [s for s in items if layout.is_writable(s)]
+        readonly = [s for s in items if not layout.is_writable(s)]
+        if len(readonly) >= 2 and len(items) > 1:
+            # Seed copies: the spare slots start out zeroed, so an addition
+            # job acts as a copy.
+            seeded: list[int] = []
+            for slot in readonly:
+                scratch = scratch_for_coefficient.get(slot)
+                if scratch is None:
+                    # a_0 in the value group is always unique, so this can
+                    # only be reached through an inconsistent layout.
+                    raise ValueError(f"no scratch slot available for read-only slot {slot}")
+                stage.jobs.append(AdditionJob(source=slot, target=scratch, layer=1, group=name))
+                seeded.append(scratch)
+            ordered_groups.append((name, writable + seeded))
+            start_level[name] = 2
+        else:
+            ordered_groups.append((name, writable + readonly))
+            start_level[name] = 1
+
+    # ------------------------------------------------------------------ #
+    # Pairing tree, all groups advancing level by level together.
+    # ------------------------------------------------------------------ #
+    working = {name: list(items) for name, items in ordered_groups}
+    level = 0
+    while any(len(items) > 1 for items in working.values()):
+        level += 1
+        for name, items in working.items():
+            if len(items) <= 1 or level < start_level[name]:
+                continue
+            survivors: list[int] = []
+            pair_count = len(items) // 2
+            for i in range(pair_count):
+                target = items[2 * i]
+                source = items[2 * i + 1]
+                stage.jobs.append(AdditionJob(source=source, target=target, layer=level, group=name))
+                survivors.append(target)
+            if len(items) % 2 == 1:
+                survivors.append(items[-1])
+            working[name] = survivors
+
+    # ------------------------------------------------------------------ #
+    # Record the output locations.
+    # ------------------------------------------------------------------ #
+    stage.value_slot = working["value"][0] if working["value"] else layout.constant_slot()
+    for name, items in working.items():
+        if name == "value" or not items:
+            continue
+        variable = int(name[len("d/dx"):])
+        stage.gradient_slots[variable] = items[0]
+    return stage

@@ -1,0 +1,191 @@
+"""The user-facing evaluator: the paper's algorithm end to end.
+
+:class:`PolynomialEvaluator` takes a :class:`repro.circuits.Polynomial`,
+stages its jobs once (:func:`repro.core.schedule_for_polynomial`) and then
+evaluates the polynomial and its gradient at any input vector of power
+series, in one of four execution modes:
+
+``reference``
+    The sequential baseline of :mod:`repro.circuits.reference` (no staging).
+``staged``
+    Executes the staged convolution/addition jobs on the host, slot by slot,
+    in layer order — the algorithm of the paper minus the GPU.  Works for any
+    coefficient ring (floats, complexes, multiple doubles, exact fractions).
+``parallel``
+    Same jobs, but the independent jobs of each layer are dispatched to a
+    thread pool (:mod:`repro.parallel`) — the host-side stand-in for "one
+    block per job".
+``gpu``
+    The functional GPU simulator (:mod:`repro.gpusim`): the data array is
+    laid out exactly as in the paper (one flat array per limb), the
+    convolution kernel runs the zero-insertion algorithm thread by thread,
+    and the timing model attaches predicted kernel/wall-clock times for the
+    selected device to the result metadata.  Real multiple-double (or plain
+    double) coefficients only.
+
+All modes return the same :class:`repro.circuits.EvaluationResult`; the test
+suite checks they agree with the reference to the working precision.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..circuits.polynomial import Polynomial
+from ..circuits.powers import PowerTable
+from ..circuits.reference import EvaluationResult, evaluate_reference
+from ..errors import StagingError
+from ..series.series import PowerSeries
+from .schedule import JobSchedule, schedule_for_polynomial
+
+__all__ = ["PolynomialEvaluator"]
+
+_MODES = ("reference", "staged", "parallel", "gpu")
+
+
+class PolynomialEvaluator:
+    """Evaluate a polynomial and its gradient at power series.
+
+    Parameters
+    ----------
+    polynomial:
+        The polynomial (any coefficient ring).
+    mode:
+        One of ``"reference"``, ``"staged"``, ``"parallel"``, ``"gpu"``.
+    device:
+        A :class:`repro.gpusim.DeviceSpec` (or preset name such as
+        ``"V100"``) used by the ``gpu`` mode's timing model.
+    workers:
+        Thread count for the ``parallel`` mode (defaults to the CPU count).
+    """
+
+    def __init__(self, polynomial: Polynomial, mode: str = "staged", device=None, workers: int | None = None):
+        if mode not in _MODES:
+            raise StagingError(f"unknown mode {mode!r}; choose from {_MODES}")
+        self.polynomial = polynomial
+        self.mode = mode
+        self.device = device
+        self.workers = workers
+        self.schedule: JobSchedule = schedule_for_polynomial(polynomial)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def evaluate(self, z: Sequence[PowerSeries]) -> EvaluationResult:
+        """Evaluate ``p(z)`` and the full gradient at the series vector ``z``."""
+        self._check_inputs(z)
+        if self.mode == "reference":
+            return evaluate_reference(self.polynomial, z)
+        if self.mode == "staged":
+            return self._evaluate_staged(z, parallel=False)
+        if self.mode == "parallel":
+            return self._evaluate_staged(z, parallel=True)
+        return self._evaluate_gpu(z)
+
+    __call__ = evaluate
+
+    def job_summary(self) -> dict:
+        """Schedule statistics (job counts, launches, theoretical steps)."""
+        return self.schedule.summary()
+
+    # ------------------------------------------------------------------ #
+    # shared plumbing
+    # ------------------------------------------------------------------ #
+    def _check_inputs(self, z: Sequence[PowerSeries]) -> None:
+        if len(z) != self.polynomial.dimension:
+            raise StagingError(
+                f"expected {self.polynomial.dimension} input series, got {len(z)}"
+            )
+        for i, series in enumerate(z):
+            if series.degree != self.polynomial.series_degree:
+                raise StagingError(
+                    f"input series {i} has degree {series.degree}, "
+                    f"expected {self.polynomial.series_degree}"
+                )
+
+    def _prepare_slots(self, z: Sequence[PowerSeries]) -> list[PowerSeries]:
+        """Fill the input region of the data array (adjusted coefficients + z)."""
+        layout = self.schedule.layout
+        degree = layout.degree
+        zero_like = self.polynomial.constant.coefficients[0] * 0
+        zero_series = PowerSeries.constant(zero_like, degree)
+        slots: list[PowerSeries] = [zero_series.copy() for _ in range(layout.total_slots)]
+        slots[layout.constant_slot()] = self.polynomial.constant.copy()
+        table = PowerTable(z)
+        for k, monomial in enumerate(self.polynomial.monomials):
+            if monomial.is_multilinear:
+                adjusted = monomial.coefficient
+            else:
+                adjusted, _, _ = monomial.split_common_factor(z, table)
+            slots[layout.coefficient_slot(k)] = adjusted.copy()
+        for variable in range(layout.dimension):
+            slots[layout.variable_slot(variable)] = z[variable].copy()
+        return slots
+
+    def _collect(self, slots: list[PowerSeries], metadata: dict) -> EvaluationResult:
+        """Read the value and gradient back from the data array."""
+        layout = self.schedule.layout
+        degree = layout.degree
+        zero_like = self.polynomial.constant.coefficients[0] * 0
+        value = slots[self.schedule.value_slot].copy()
+        gradient: list[PowerSeries] = []
+        for variable in range(layout.dimension):
+            slot = self.schedule.gradient_slot(variable)
+            if slot is None:
+                gradient.append(PowerSeries.constant(zero_like, degree))
+            else:
+                gradient.append(slots[slot].copy())
+        return EvaluationResult(value=value, gradient=gradient, metadata=metadata)
+
+    # ------------------------------------------------------------------ #
+    # staged / parallel execution on the host
+    # ------------------------------------------------------------------ #
+    def _evaluate_staged(self, z: Sequence[PowerSeries], parallel: bool) -> EvaluationResult:
+        slots = self._prepare_slots(z)
+        schedule = self.schedule
+        if parallel:
+            from ..parallel.pool import LayerParallelExecutor
+
+            executor = LayerParallelExecutor(workers=self.workers)
+            executor.run_schedule(schedule, slots)
+            metadata = {
+                "mode": "parallel",
+                "workers": executor.workers,
+                "launches": schedule.total_launches,
+            }
+            return self._collect(slots, metadata)
+
+        for layer in schedule.convolutions.layers():
+            for job in layer:
+                slots[job.output] = slots[job.input1].convolve(slots[job.input2])
+        for scale in schedule.scale_jobs:
+            factor = slots[scale.slot].coefficients[0] * 0 + scale.factor
+            slots[scale.slot] = slots[scale.slot].scale(factor)
+        for layer in schedule.additions.layers():
+            for job in layer:
+                slots[job.target] = slots[job.target] + slots[job.source]
+        metadata = {
+            "mode": "staged",
+            "convolution_jobs": schedule.convolution_job_count,
+            "addition_jobs": schedule.addition_job_count,
+            "launches": schedule.total_launches,
+        }
+        return self._collect(slots, metadata)
+
+    # ------------------------------------------------------------------ #
+    # simulated GPU execution
+    # ------------------------------------------------------------------ #
+    def _evaluate_gpu(self, z: Sequence[PowerSeries]) -> EvaluationResult:
+        from ..gpusim.executor import GPUSimulator
+
+        slots = self._prepare_slots(z)
+        simulator = GPUSimulator(device=self.device)
+        outcome = simulator.run(self.schedule, slots)
+        metadata = {
+            "mode": "gpu",
+            "device": simulator.device.name,
+            "timings": outcome.timings,
+            "precision_limbs": outcome.limbs,
+            "launches": self.schedule.total_launches,
+        }
+        return self._collect(outcome.slots, metadata)

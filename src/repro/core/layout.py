@@ -1,0 +1,192 @@
+"""Data layout of the flat array ``A`` (Section 5, Figure 1, formulas (7)-(8)).
+
+Every series involved in the computation — the constant ``a_0``, the ``N``
+monomial coefficients, the ``n`` input series, and every forward, backward
+and cross product — occupies one *slot* of ``d + 1`` consecutive numbers in
+the data array.  The layout is a pure function of the polynomial *structure*
+(the supports), independent of the numerical values, so it is computed once
+and reused for every evaluation.
+
+Slot order (identical to the paper)::
+
+    a_0 | a_1 .. a_N | z_1 .. z_n | forward products | backward | cross
+
+For the ``k``-th monomial with ``nk`` variables the layout reserves
+
+* ``nk`` forward slots,
+* ``max(1, nk - 2)`` backward slots (the special case ``nk = 2`` keeps one
+  slot for ``z_{i2} * a_k``; ``nk = 1`` keeps one spare slot used as scratch
+  when several single-variable monomials share a variable),
+* ``max(0, nk - 2)`` cross slots,
+
+which reproduces the total count ``e`` of formula (7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import StagingError
+
+__all__ = ["DataLayout"]
+
+
+@dataclass(frozen=True)
+class DataLayout:
+    """Slot assignment for one polynomial structure.
+
+    Parameters
+    ----------
+    dimension:
+        Number of variables ``n``.
+    supports:
+        One tuple of 0-based variable indices per monomial (sorted, distinct).
+    degree:
+        Truncation degree ``d`` of every series.
+    """
+
+    dimension: int
+    supports: tuple[tuple[int, ...], ...]
+    degree: int
+    # Derived offsets (filled by __post_init__ via object.__setattr__).
+    forward_base: int = 0
+    backward_base: int = 0
+    cross_base: int = 0
+    alpha: tuple[int, ...] = ()
+    beta: tuple[int, ...] = ()
+    gamma: tuple[int, ...] = ()
+    total_slots: int = 0
+
+    def __init__(self, dimension: int, supports: Sequence[Sequence[int]], degree: int):
+        supports = tuple(tuple(int(v) for v in support) for support in supports)
+        for k, support in enumerate(supports):
+            if not support:
+                raise StagingError(f"monomial {k} has an empty support")
+            if list(support) != sorted(set(support)):
+                raise StagingError(
+                    f"monomial {k} support {support} must be strictly increasing"
+                )
+            if support[-1] >= dimension:
+                raise StagingError(
+                    f"monomial {k} uses variable {support[-1]} but n={dimension}"
+                )
+        object.__setattr__(self, "dimension", int(dimension))
+        object.__setattr__(self, "supports", supports)
+        object.__setattr__(self, "degree", int(degree))
+
+        n_monomials = len(supports)
+        forward_base = 1 + n_monomials + dimension
+        alpha: list[int] = []
+        beta: list[int] = []
+        gamma: list[int] = []
+        acc_f = acc_b = acc_c = 0
+        for support in supports:
+            nk = len(support)
+            alpha.append(acc_f)
+            beta.append(acc_b)
+            gamma.append(acc_c)
+            acc_f += nk
+            acc_b += max(1, nk - 2)
+            acc_c += max(0, nk - 2)
+        backward_base = forward_base + acc_f
+        cross_base = backward_base + acc_b
+        object.__setattr__(self, "forward_base", forward_base)
+        object.__setattr__(self, "backward_base", backward_base)
+        object.__setattr__(self, "cross_base", cross_base)
+        object.__setattr__(self, "alpha", tuple(alpha))
+        object.__setattr__(self, "beta", tuple(beta))
+        object.__setattr__(self, "gamma", tuple(gamma))
+        object.__setattr__(self, "total_slots", cross_base + acc_c)
+
+    # ------------------------------------------------------------------ #
+    # named slots
+    # ------------------------------------------------------------------ #
+    @property
+    def n_monomials(self) -> int:
+        return len(self.supports)
+
+    def constant_slot(self) -> int:
+        """Slot of ``a_0``."""
+        return 0
+
+    def coefficient_slot(self, monomial: int) -> int:
+        """Slot of ``a_k`` for the 0-based monomial index."""
+        self._check_monomial(monomial)
+        return 1 + monomial
+
+    def variable_slot(self, variable: int) -> int:
+        """Slot of the input series ``z_variable`` (0-based variable index)."""
+        if not 0 <= variable < self.dimension:
+            raise StagingError(f"variable {variable} out of range 0..{self.dimension - 1}")
+        return 1 + self.n_monomials + variable
+
+    def forward_slot(self, monomial: int, index: int) -> int:
+        """Slot of the forward product ``f_{k, index}`` (1-based ``index``)."""
+        self._check_monomial(monomial)
+        nk = len(self.supports[monomial])
+        if not 1 <= index <= nk:
+            raise StagingError(f"forward index {index} out of range 1..{nk}")
+        return self.forward_base + self.alpha[monomial] + index - 1
+
+    def backward_slot(self, monomial: int, index: int) -> int:
+        """Slot of the backward product ``b_{k, index}`` (1-based ``index``)."""
+        self._check_monomial(monomial)
+        nk = len(self.supports[monomial])
+        limit = max(1, nk - 2)
+        if not 1 <= index <= limit:
+            raise StagingError(f"backward index {index} out of range 1..{limit}")
+        return self.backward_base + self.beta[monomial] + index - 1
+
+    def cross_slot(self, monomial: int, index: int) -> int:
+        """Slot of the cross product ``c_{k, index}`` (1-based ``index``)."""
+        self._check_monomial(monomial)
+        nk = len(self.supports[monomial])
+        limit = max(0, nk - 2)
+        if not 1 <= index <= limit:
+            raise StagingError(f"cross index {index} out of range 1..{limit}")
+        return self.cross_base + self.gamma[monomial] + index - 1
+
+    def _check_monomial(self, monomial: int) -> None:
+        if not 0 <= monomial < self.n_monomials:
+            raise StagingError(
+                f"monomial index {monomial} out of range 0..{self.n_monomials - 1}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def coefficients_per_series(self) -> int:
+        """``d + 1``."""
+        return self.degree + 1
+
+    @property
+    def total_doubles(self) -> int:
+        """Formula (7): total number of ring elements in the data array."""
+        return self.total_slots * self.coefficients_per_series
+
+    def product_region(self) -> range:
+        """Slots that the kernels may write (everything after the inputs)."""
+        return range(self.forward_base, self.total_slots)
+
+    def is_writable(self, slot: int) -> bool:
+        """True when the slot belongs to the product region."""
+        return slot >= self.forward_base
+
+    def slot_offset(self, slot: int) -> int:
+        """Flat offset (in ring elements) of the start of a slot."""
+        if not 0 <= slot < self.total_slots:
+            raise StagingError(f"slot {slot} out of range 0..{self.total_slots - 1}")
+        return slot * self.coefficients_per_series
+
+    def describe(self) -> dict[str, int]:
+        """Human-readable summary of the layout."""
+        return {
+            "slots": self.total_slots,
+            "doubles_per_limb": self.total_doubles,
+            "forward_base": self.forward_base,
+            "backward_base": self.backward_base,
+            "cross_base": self.cross_base,
+            "coefficients_per_series": self.coefficients_per_series,
+        }

@@ -1,0 +1,158 @@
+"""The complete job schedule for one polynomial structure.
+
+A :class:`JobSchedule` bundles everything the accelerated evaluator (host or
+simulated GPU) needs and everything the performance model consumes:
+
+* the :class:`repro.core.DataLayout` (slot assignment, formula (7)/(8));
+* the convolution stage — jobs in layers (Section 3-5);
+* optional scale jobs (general exponents, our extension);
+* the addition stage — tree summation jobs in levels;
+* the output locations of the value and gradient;
+* launch statistics (blocks per kernel launch) and the theoretical step
+  counts of Corollaries 3.2 and 4.1.
+
+The schedule depends only on the polynomial *structure* (supports), never on
+the coefficient values, so it is computed once per polynomial and reused for
+every evaluation — exactly like the paper's index vectors, which are
+"computed only once".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..circuits.polynomial import Polynomial
+from .addition_tree import AdditionStage, stage_additions
+from .jobs import ScaleJob
+from .layout import DataLayout
+from .staging import ConvolutionStage, stage_convolutions
+
+__all__ = ["JobSchedule", "build_schedule", "schedule_for_polynomial"]
+
+
+@dataclass
+class JobSchedule:
+    """Layout + staged jobs + output map for one polynomial structure."""
+
+    layout: DataLayout
+    convolutions: ConvolutionStage
+    additions: AdditionStage
+    scale_jobs: list[ScaleJob] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # sizes and launch statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def degree(self) -> int:
+        return self.layout.degree
+
+    @property
+    def convolution_job_count(self) -> int:
+        return self.convolutions.job_count
+
+    @property
+    def addition_job_count(self) -> int:
+        return self.additions.job_count
+
+    @property
+    def convolution_launches(self) -> list[int]:
+        """Blocks per convolution kernel launch (one entry per layer)."""
+        return self.convolutions.layer_sizes()
+
+    @property
+    def addition_launches(self) -> list[int]:
+        """Blocks per addition kernel launch (one entry per level)."""
+        return self.additions.layer_sizes()
+
+    @property
+    def total_launches(self) -> int:
+        """Total number of kernel launches (convolutions + scalings + additions)."""
+        scale_launches = 1 if self.scale_jobs else 0
+        return len(self.convolution_launches) + scale_launches + len(self.addition_launches)
+
+    @property
+    def value_slot(self) -> int:
+        """Slot of ``p(z)`` after both stages."""
+        return self.additions.value_slot
+
+    def gradient_slot(self, variable: int) -> int | None:
+        """Slot of ``dp/dx_variable``; ``None`` when the variable never occurs."""
+        return self.additions.gradient_slots.get(variable)
+
+    # ------------------------------------------------------------------ #
+    # theoretical step counts (Corollaries 3.2 and 4.1)
+    # ------------------------------------------------------------------ #
+    def convolution_steps(self) -> int:
+        """Number of parallel steps of the convolution stage.
+
+        Corollary 3.2: a monomial in ``m`` variables needs ``m`` steps given
+        enough blocks; for a polynomial this is the maximum over monomials.
+        """
+        return self.convolutions.n_layers
+
+    def addition_steps(self) -> int:
+        """Number of parallel steps of the addition stage (``~ ceil(log2 N)``)."""
+        return self.additions.n_layers
+
+    def theoretical_steps(self) -> int:
+        """Corollary 4.1: ``m + ceil(log2 N)`` parallel steps overall."""
+        return self.convolution_steps() + self.addition_steps()
+
+    def corollary_4_1_bound(self) -> int:
+        """The bound of Corollary 4.1 computed from the structure."""
+        supports = self.layout.supports
+        if not supports:
+            return 0
+        m = max(len(s) for s in supports)
+        n_monomials = max(1, len(supports))
+        return m + max(1, math.ceil(math.log2(n_monomials + 1)))
+
+    def summary(self) -> dict:
+        """A dictionary of the headline schedule statistics."""
+        return {
+            "degree": self.degree,
+            "monomials": self.layout.n_monomials,
+            "slots": self.layout.total_slots,
+            "convolution_jobs": self.convolution_job_count,
+            "addition_jobs": self.addition_job_count,
+            "scale_jobs": len(self.scale_jobs),
+            "convolution_launches": self.convolution_launches,
+            "addition_launches": self.addition_launches,
+            "theoretical_steps": self.theoretical_steps(),
+        }
+
+
+def build_schedule(dimension: int, supports: Sequence[Sequence[int]], degree: int) -> JobSchedule:
+    """Stage the convolution and addition jobs for a multilinear structure."""
+    layout = DataLayout(dimension, supports, degree)
+    convolutions = stage_convolutions(layout)
+    additions = stage_additions(layout, convolutions.products)
+    return JobSchedule(layout=layout, convolutions=convolutions, additions=additions)
+
+
+def schedule_for_polynomial(polynomial: Polynomial) -> JobSchedule:
+    """Stage jobs for a :class:`repro.circuits.Polynomial`.
+
+    The schedule is built from the monomial supports; monomials with
+    exponents larger than one additionally receive scale jobs that apply the
+    integer exponents to the corresponding partial derivatives (the
+    common-factor series itself is folded into the coefficient slot by the
+    evaluator before the kernels run).
+    """
+    supports = polynomial.supports()
+    schedule = build_schedule(polynomial.dimension, supports, polynomial.series_degree)
+    scale_jobs: list[ScaleJob] = []
+    for k, monomial in enumerate(polynomial.monomials):
+        if monomial.is_multilinear:
+            continue
+        products = schedule.convolutions.products[k]
+        for variable, exponent in monomial.exponents:
+            if exponent > 1:
+                slot = products.derivative_slots[variable]
+                scale_jobs.append(
+                    ScaleJob(slot=slot, factor=exponent, monomial=k, variable=variable)
+                )
+    schedule.scale_jobs = scale_jobs
+    return schedule

@@ -1,0 +1,207 @@
+"""Data staging for the convolution stage (Sections 3-5 of the paper).
+
+For every monomial the staging algorithm emits the forward, backward and
+cross product jobs of Section 3, assigns each to a *layer* (all jobs of a
+layer are independent and execute in one kernel launch) and records which
+slot of the data array holds the monomial's value and each of its partial
+derivatives once the stage has run.
+
+Layer assignment (1-based; a job at layer L can run after L-1 steps):
+
+===============================  ==========================================
+job                               layer
+===============================  ==========================================
+``f_{k,l} = f_{k,l-1} * z``       ``l``
+``b_{k,l} = b_{k,l-1} * z``       ``l``
+``b_{k,nk-2} *= a_k``             ``nk - 1``
+``c_{k,l} = f_{k,l} * b_{k,nk-2-l}``  ``max(l, nk-2-l) + 1``  (Prop. 3.1)
+``c_{k,nk-2} = f_{k,nk-2} * z``   ``nk - 1``
+===============================  ==========================================
+
+Special cases: a monomial with a single variable needs one forward product
+only (its derivative is the coefficient itself); a monomial with two
+variables needs ``f1``, ``f2`` and the backward product ``z_{i2} * a_k``
+(three jobs), exactly as the paper's count formula ``3*nk - 3`` with the
+``max(1, nk-2)`` backward slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import StagingError
+from .jobs import ConvolutionJob
+from .layout import DataLayout
+
+__all__ = ["MonomialProducts", "ConvolutionStage", "stage_convolutions"]
+
+
+@dataclass(frozen=True)
+class MonomialProducts:
+    """Where one monomial's value and derivatives live after stage one.
+
+    ``value_slot`` holds the evaluated monomial; ``derivative_slots`` maps a
+    0-based variable index to the slot holding the derivative of the monomial
+    with respect to that variable (before any exponent scaling).
+    """
+
+    monomial: int
+    value_slot: int
+    derivative_slots: dict[int, int]
+
+
+@dataclass
+class ConvolutionStage:
+    """All convolution jobs of a polynomial structure, grouped by layer."""
+
+    layout: DataLayout
+    jobs: list[ConvolutionJob] = field(default_factory=list)
+    products: list[MonomialProducts] = field(default_factory=list)
+
+    @property
+    def n_layers(self) -> int:
+        """Number of kernel launches needed by the convolution stage."""
+        if not self.jobs:
+            return 0
+        return max(job.layer for job in self.jobs)
+
+    def layers(self) -> list[list[ConvolutionJob]]:
+        """Jobs grouped by layer (index 0 holds layer 1)."""
+        grouped: list[list[ConvolutionJob]] = [[] for _ in range(self.n_layers)]
+        for job in self.jobs:
+            grouped[job.layer - 1].append(job)
+        return grouped
+
+    def layer_sizes(self) -> list[int]:
+        """Number of blocks per kernel launch (one entry per layer)."""
+        return [len(layer) for layer in self.layers()]
+
+    @property
+    def job_count(self) -> int:
+        return len(self.jobs)
+
+
+def stage_convolutions(layout: DataLayout) -> ConvolutionStage:
+    """Run the data staging algorithm of Section 5 on a polynomial structure."""
+    stage = ConvolutionStage(layout=layout)
+    for k, support in enumerate(layout.supports):
+        nk = len(support)
+        if nk == 1:
+            _stage_single_variable(stage, k, support)
+        elif nk == 2:
+            _stage_two_variables(stage, k, support)
+        else:
+            _stage_general(stage, k, support)
+    return stage
+
+
+def _stage_single_variable(stage: ConvolutionStage, k: int, support) -> None:
+    """Monomial ``a_k * x_i``: one forward product, derivative is ``a_k``."""
+    layout = stage.layout
+    (i1,) = support
+    coefficient = layout.coefficient_slot(k)
+    f1 = layout.forward_slot(k, 1)
+    stage.jobs.append(
+        ConvolutionJob(coefficient, layout.variable_slot(i1), f1, layer=1, monomial=k, kind="forward")
+    )
+    stage.products.append(
+        MonomialProducts(monomial=k, value_slot=f1, derivative_slots={i1: coefficient})
+    )
+
+
+def _stage_two_variables(stage: ConvolutionStage, k: int, support) -> None:
+    """Monomial ``a_k * x_{i1} * x_{i2}``: three convolutions (Section 5)."""
+    layout = stage.layout
+    i1, i2 = support
+    coefficient = layout.coefficient_slot(k)
+    z1 = layout.variable_slot(i1)
+    z2 = layout.variable_slot(i2)
+    f1 = layout.forward_slot(k, 1)
+    f2 = layout.forward_slot(k, 2)
+    b1 = layout.backward_slot(k, 1)
+    stage.jobs.append(ConvolutionJob(coefficient, z1, f1, layer=1, monomial=k, kind="forward"))
+    stage.jobs.append(ConvolutionJob(f1, z2, f2, layer=2, monomial=k, kind="forward"))
+    stage.jobs.append(ConvolutionJob(z2, coefficient, b1, layer=1, monomial=k, kind="backward"))
+    stage.products.append(
+        MonomialProducts(
+            monomial=k,
+            value_slot=f2,
+            derivative_slots={i1: b1, i2: f1},
+        )
+    )
+
+
+def _stage_general(stage: ConvolutionStage, k: int, support) -> None:
+    """Monomial with ``nk >= 3`` variables: the full Section 3 schedule."""
+    layout = stage.layout
+    nk = len(support)
+    coefficient = layout.coefficient_slot(k)
+    z = [layout.variable_slot(v) for v in support]
+    forward = [layout.forward_slot(k, j) for j in range(1, nk + 1)]
+    backward = [layout.backward_slot(k, j) for j in range(1, nk - 1)]
+    cross = [layout.cross_slot(k, j) for j in range(1, nk - 1)]
+
+    # Forward products: f_1 = a * z_{i1}; f_l = f_{l-1} * z_{il}.
+    stage.jobs.append(ConvolutionJob(coefficient, z[0], forward[0], layer=1, monomial=k, kind="forward"))
+    for ell in range(2, nk + 1):
+        stage.jobs.append(
+            ConvolutionJob(forward[ell - 2], z[ell - 1], forward[ell - 1], layer=ell, monomial=k, kind="forward")
+        )
+
+    # Backward products: b_1 = z_{ink} * z_{ink-1}; b_l = b_{l-1} * z_{ink-l};
+    # finally b_{nk-2} *= a_k (layer nk-1).
+    stage.jobs.append(
+        ConvolutionJob(z[nk - 1], z[nk - 2], backward[0], layer=1, monomial=k, kind="backward")
+    )
+    for ell in range(2, nk - 1):
+        stage.jobs.append(
+            ConvolutionJob(backward[ell - 2], z[nk - ell - 1], backward[ell - 1], layer=ell, monomial=k, kind="backward")
+        )
+    stage.jobs.append(
+        ConvolutionJob(
+            backward[nk - 3],
+            coefficient,
+            backward[nk - 3],
+            layer=nk - 1,
+            monomial=k,
+            kind="backward*coefficient",
+        )
+    )
+
+    # Cross products: c_l = f_l * b_{nk-2-l} for l = 1..nk-3 (Proposition 3.1),
+    # and c_{nk-2} = f_{nk-2} * z_{ink} at layer nk-1.
+    for ell in range(1, nk - 2):
+        partner = nk - 2 - ell
+        stage.jobs.append(
+            ConvolutionJob(
+                forward[ell - 1],
+                backward[partner - 1],
+                cross[ell - 1],
+                layer=max(ell, partner) + 1,
+                monomial=k,
+                kind="cross",
+            )
+        )
+    stage.jobs.append(
+        ConvolutionJob(
+            forward[nk - 3],
+            z[nk - 1],
+            cross[nk - 3],
+            layer=nk - 1,
+            monomial=k,
+            kind="cross",
+        )
+    )
+
+    # Output map: value and all nk partial derivatives (Section 3/4).
+    derivative_slots: dict[int, int] = {}
+    derivative_slots[support[0]] = backward[nk - 3]          # d/dx_{i1}
+    for ell in range(1, nk - 2):                             # d/dx_{i_{l+1}}
+        derivative_slots[support[ell]] = cross[ell - 1]
+    derivative_slots[support[nk - 2]] = cross[nk - 3]        # d/dx_{i_{nk-1}}
+    derivative_slots[support[nk - 1]] = forward[nk - 2]      # d/dx_{i_nk}
+    if len(derivative_slots) != nk:
+        raise StagingError(f"internal error: derivative map incomplete for monomial {k}")
+    stage.products.append(
+        MonomialProducts(monomial=k, value_slot=forward[nk - 1], derivative_slots=derivative_slots)
+    )

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so a
+caller can catch every library-specific failure with a single ``except``
+clause while still letting programming errors (``TypeError`` and friends)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PrecisionError",
+    "TruncationError",
+    "StagingError",
+    "DeviceCapacityError",
+    "ConvergenceError",
+    "SingularSystemError",
+    "ParseError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class PrecisionError(ReproError, ValueError):
+    """An unknown or unsupported multiple-double precision was requested."""
+
+
+class TruncationError(ReproError, ValueError):
+    """Two truncated power series with incompatible degrees were combined."""
+
+
+class StagingError(ReproError, ValueError):
+    """The data-staging algorithm received an inconsistent polynomial."""
+
+
+class DeviceCapacityError(ReproError, ValueError):
+    """A kernel configuration exceeds a simulated device resource limit.
+
+    The most important instance is the shared-memory ceiling that restricts
+    the truncation degree per precision (degree 152 for deca doubles in the
+    paper).
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative method (Newton, path tracking) failed to converge."""
+
+
+class SingularSystemError(ReproError, ArithmeticError):
+    """A linear solve over power series met a non-invertible pivot."""
+
+
+class ParseError(ReproError, ValueError):
+    """A polynomial string could not be parsed."""

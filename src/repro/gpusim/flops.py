@@ -1,0 +1,91 @@
+"""Double-operation accounting (Section 6.2 of the paper).
+
+The paper converts the measured kernel times into a flop rate as follows:
+
+* one convolution with zero insertion on series truncated at degree ``d``
+  performs ``(d+1)^2`` multiplications and ``d*(d+1)`` additions *in the
+  coefficient ring*;
+* one series addition performs ``d+1`` ring additions;
+* one deca-double multiplication costs 3089 double operations, one
+  deca-double addition 397 (see :mod:`repro.md.opcounts` for every
+  precision);
+* therefore evaluating ``p1`` (16,380 convolutions, 9,084 additions) at
+  ``d = 152`` in deca-double precision executes about 1.336e12 double
+  operations, which over the measured 1.066 s on the P100 is ~1.25 TFLOPS.
+
+This module reproduces that bookkeeping for any polynomial structure, degree,
+precision and timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..md.opcounts import opcounts_for
+from ..md.precision import get_precision
+from ..series.convolution import addition_operation_count, convolution_operation_count
+
+__all__ = [
+    "FlopCount",
+    "convolution_double_ops",
+    "addition_double_ops",
+    "evaluation_double_ops",
+    "tflops",
+]
+
+
+@dataclass(frozen=True)
+class FlopCount:
+    """Double-precision operation totals for one evaluation."""
+
+    convolution_ops: int
+    addition_ops: int
+
+    @property
+    def total(self) -> int:
+        return self.convolution_ops + self.addition_ops
+
+    def tflops(self, milliseconds: float) -> float:
+        """Sustained TFLOPS given a time in milliseconds."""
+        if milliseconds <= 0:
+            return float("inf")
+        return self.total / (milliseconds * 1.0e-3) / 1.0e12
+
+
+def convolution_double_ops(degree: int, precision) -> int:
+    """Double operations of one convolution job at the given degree/precision."""
+    ring_mul, ring_add = convolution_operation_count(degree)
+    counts = opcounts_for(precision)
+    return ring_mul * counts.mul_ops + ring_add * counts.add_ops
+
+
+def addition_double_ops(degree: int, precision) -> int:
+    """Double operations of one series-addition job."""
+    _, ring_add = addition_operation_count(degree)
+    counts = opcounts_for(precision)
+    return ring_add * counts.add_ops
+
+
+def evaluation_double_ops(
+    n_convolutions: int, n_additions: int, degree: int, precision
+) -> FlopCount:
+    """Total double operations for one full evaluation (Section 6.2).
+
+    For ``p1`` at ``d = 152`` in deca double precision this returns the
+    paper's 1,184,444,368,380 convolution and 151,782,283,404 addition double
+    operations.
+    """
+    counts = opcounts_for(precision)
+    ring_mul, ring_add_conv = convolution_operation_count(degree)
+    _, ring_add_add = addition_operation_count(degree)
+    convolution_ops = n_convolutions * ring_mul * counts.mul_ops + (
+        n_convolutions * ring_add_conv
+    ) * counts.add_ops
+    addition_ops = n_additions * ring_add_add * counts.add_ops
+    return FlopCount(convolution_ops=convolution_ops, addition_ops=addition_ops)
+
+
+def tflops(n_convolutions: int, n_additions: int, degree: int, precision, milliseconds: float) -> float:
+    """Sustained TFLOPS of one evaluation, as computed in Section 6.2."""
+    get_precision(precision)  # validate early
+    return evaluation_double_ops(n_convolutions, n_additions, degree, precision).tflops(milliseconds)

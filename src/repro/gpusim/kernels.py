@@ -1,0 +1,136 @@
+"""Functional simulation of the device kernels.
+
+The device holds one flat array per limb (the paper's data array ``A``,
+replicated ``m`` times for ``m``-fold doubles).  A kernel launch executes one
+*block* per job; this module provides the per-block work in two flavours:
+
+* ``*_block`` — vectorised implementations working on whole coefficient
+  slices through :class:`repro.md.MDArray`; these are what the simulator
+  uses, and they are numerically identical to the thread-level algorithm;
+* :func:`convolution_block_threaded` — a literal transcription of the
+  zero-insertion pseudo code of Section 2: shared-memory vectors ``X``, ``Y``,
+  ``Z`` and one scalar "thread" per output coefficient.  It exists to
+  validate the kernel logic (including the shared-memory staging) against the
+  vectorised path and the host reference; it is far too slow for large runs.
+
+The device data array is a plain NumPy array of shape
+``(limbs, total_slots * (d+1))``; job offsets are in ring elements, exactly
+the triplets/pairs of Section 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..md.mdarray import MDArray
+from ..md.multidouble import MultiDouble
+from ..md.renorm import renormalize
+from ..series.convolution import convolve_vectorized
+
+__all__ = [
+    "DeviceData",
+    "convolution_block",
+    "convolution_block_threaded",
+    "addition_block",
+    "scale_block",
+]
+
+
+class DeviceData:
+    """The device-resident data array (one row per limb)."""
+
+    __slots__ = ("array", "degree")
+
+    def __init__(self, limbs: int, total_slots: int, degree: int):
+        self.array = np.zeros((limbs, total_slots * (degree + 1)), dtype=np.float64)
+        self.degree = degree
+
+    @property
+    def limbs(self) -> int:
+        return self.array.shape[0]
+
+    def slice(self, offset: int) -> MDArray:
+        """The ``d+1`` ring elements starting at ``offset`` as an :class:`MDArray`."""
+        stride = self.degree + 1
+        return MDArray(self.array[:, offset : offset + stride].copy())
+
+    def write(self, offset: int, values: MDArray) -> None:
+        """Store ``d+1`` ring elements starting at ``offset``."""
+        stride = self.degree + 1
+        self.array[:, offset : offset + stride] = values.data
+
+    def load_series(self, slot: int, coefficients) -> None:
+        """Fill one slot from scalar coefficients (MultiDouble or float)."""
+        stride = self.degree + 1
+        offset = slot * stride
+        for j, coefficient in enumerate(coefficients):
+            if isinstance(coefficient, MultiDouble):
+                limbs = coefficient.to_precision(self.limbs).limbs
+            else:
+                limbs = renormalize((float(coefficient),), self.limbs)
+            self.array[:, offset + j] = limbs
+
+    def read_series(self, slot: int) -> list[MultiDouble]:
+        """Read one slot back as scalar multiple doubles."""
+        stride = self.degree + 1
+        offset = slot * stride
+        return [
+            MultiDouble(tuple(self.array[:, offset + j]), self.limbs)
+            for j in range(stride)
+        ]
+
+
+def convolution_block(data: DeviceData, offset1: int, offset2: int, offset_out: int) -> None:
+    """One convolution job: ``A[out : out+d+1] = A[o1 : ...] * A[o2 : ...]``.
+
+    Reads both operands before writing, so in-place jobs
+    (``b_{k,nk-2} *= a_k``) are handled correctly.
+    """
+    x = data.slice(offset1)
+    y = data.slice(offset2)
+    data.write(offset_out, convolve_vectorized(x, y))
+
+
+def addition_block(data: DeviceData, offset_source: int, offset_target: int) -> None:
+    """One addition job: ``A[target : target+d+1] += A[source : ...]``."""
+    source = data.slice(offset_source)
+    target = data.slice(offset_target)
+    data.write(offset_target, target + source)
+
+
+def scale_block(data: DeviceData, offset: int, factor: int) -> None:
+    """Multiply one series in place by an integer factor (exponent scaling)."""
+    values = data.slice(offset)
+    data.write(offset, values.scale(float(factor)))
+
+
+def convolution_block_threaded(x_coefficients, y_coefficients, precision) -> list[MultiDouble]:
+    """Literal zero-insertion kernel of Section 2, one scalar thread at a time.
+
+    ``x_coefficients`` and ``y_coefficients`` are sequences of ``d+1``
+    :class:`MultiDouble` (or float) values; the returned list holds the
+    product's coefficients.  The shared-memory vectors ``X`` (``d+1``
+    entries), ``Y`` (``2d+2`` entries, zeros inserted in front) and ``Z``
+    (``d+1`` entries) are modelled with plain Python lists.
+    """
+    degree = len(x_coefficients) - 1
+    if len(y_coefficients) != degree + 1:
+        raise ValueError("operands must share the truncation degree")
+
+    def as_md(value):
+        if isinstance(value, MultiDouble):
+            return value.to_precision(precision)
+        return MultiDouble.from_float(float(value), precision)
+
+    zero = MultiDouble.zero(precision)
+    X = [as_md(c) for c in x_coefficients]
+    # d zeros inserted in front of y, so Y[d + j] = y_j and negative indices
+    # of the textbook formula read zeros (the paper reserves 2d+2 slots).
+    Y = [zero] * degree + [as_md(c) for c in y_coefficients]
+    Z = [zero] * (degree + 1)
+    for k in range(degree + 1):  # thread k
+        acc = X[0] * Y[degree + k]
+        for i in range(1, degree + 1):
+            acc = acc + X[i] * Y[degree + k - i]
+        Z[k] = acc
+    return Z

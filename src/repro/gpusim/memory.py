@@ -1,0 +1,52 @@
+"""Shared-memory capacity model.
+
+One convolution block stages, in shared memory, the vectors ``X`` (``d+1``
+numbers), ``Y`` (``2d+2`` numbers, because of the zero insertion) and ``Z``
+(``d+1`` numbers) — ``4*(d+1)`` multiple-double numbers in total, i.e.
+``4*(d+1)*8*limbs`` bytes.  With the 48 KiB limit shared by all five devices
+this reproduces the degree ceilings observed in the paper:
+
+* deca doubles: ``d <= 152`` ("the largest one block of threads can manage"),
+* octo doubles: ``d <= 191`` (Table 5 stops exactly there),
+* penta doubles and below: every degree in the experiments fits.
+"""
+
+from __future__ import annotations
+
+from ..errors import DeviceCapacityError
+from ..md.precision import get_precision
+from .device import DeviceSpec, get_device
+
+__all__ = [
+    "shared_memory_needed",
+    "max_degree_for_precision",
+    "check_block_fits",
+]
+
+
+def shared_memory_needed(degree: int, precision) -> int:
+    """Bytes of shared memory one convolution block needs."""
+    limbs = get_precision(precision).limbs
+    return 4 * (degree + 1) * 8 * limbs
+
+
+def max_degree_for_precision(precision, device: DeviceSpec | str | None = None) -> int:
+    """Largest truncation degree one block can handle on the device."""
+    device = get_device(device)
+    limbs = get_precision(precision).limbs
+    budget = device.shared_memory_bytes()
+    return budget // (4 * 8 * limbs) - 1
+
+
+def check_block_fits(degree: int, precision, device: DeviceSpec | str | None = None) -> None:
+    """Raise :class:`DeviceCapacityError` when a block would exceed shared memory."""
+    device = get_device(device)
+    needed = shared_memory_needed(degree, precision)
+    budget = device.shared_memory_bytes()
+    if needed > budget:
+        limbs = get_precision(precision).limbs
+        raise DeviceCapacityError(
+            f"degree {degree} at {limbs}-fold double precision needs {needed} bytes of "
+            f"shared memory per block, but {device.name} offers {budget} "
+            f"(maximum degree is {max_degree_for_precision(precision, device)})"
+        )

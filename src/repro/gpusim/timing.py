@@ -1,0 +1,164 @@
+"""Analytic timing model for the simulated GPUs.
+
+The model predicts, for every kernel launch of a :class:`repro.core.JobSchedule`,
+the elapsed kernel time and the host-side launch overhead, from which the
+four numbers the paper reports (convolution sum, addition sum, their sum,
+wall clock) follow.  The ingredients are:
+
+* **occupancy in waves** — a launch of ``B`` one-block-per-job blocks runs in
+  ``ceil(B / #SM)`` waves over the streaming multiprocessors (this is what
+  makes 256-block launches under-occupy the V100 relative to the P100, the
+  effect the paper observes for ``p2``);
+* **compute time per block** — the double-operation count of the job
+  (convolution: ``(d+1)^2`` ring multiplications and ``d(d+1)`` ring
+  additions; addition: ``d+1`` ring additions; each ring operation expanded
+  into double operations via :mod:`repro.md.opcounts`) divided by the SM's
+  peak double rate times the calibrated efficiency
+  (:mod:`repro.gpusim.calibration`);
+* **memory time per block** — global-memory traffic (three series of
+  ``(d+1)`` numbers of ``8*limbs`` bytes) over the per-SM bandwidth; the
+  kernel time per wave is the maximum of compute and memory time (roofline);
+* **warp scheduling overhead** — a fixed number of cycles per warp of the
+  block, which dominates in plain double precision where the arithmetic is
+  almost free;
+* **launch overhead** — a per-launch host cost plus a per-job index-transfer
+  cost, included in the wall clock only.
+
+The shared-memory capacity check reproduces the paper's degree ceiling
+(degree 152 in deca-double precision).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..md.opcounts import opcounts_for
+from ..md.precision import get_precision
+from .calibration import efficiency_for
+from .device import DeviceSpec, get_device
+from .events import KernelLaunchTiming, TimingReport
+from .memory import check_block_fits
+
+__all__ = ["TimingModel", "predict_schedule"]
+
+
+@dataclass
+class TimingModel:
+    """Predicts kernel launch times for one device and precision."""
+
+    device: DeviceSpec
+    limbs: int
+
+    def __init__(self, device=None, precision=2):
+        self.device = get_device(device)
+        self.limbs = get_precision(precision).limbs
+
+    # ------------------------------------------------------------------ #
+    # per-launch predictions
+    # ------------------------------------------------------------------ #
+    def _waves(self, blocks: int) -> int:
+        return max(1, math.ceil(blocks / self.device.multiprocessors))
+
+    def _warp_time_s(self, degree: int) -> float:
+        warps = math.ceil((degree + 1) / self.device.warp_size)
+        return warps * self.device.warp_overhead_cycles / (self.device.clock_ghz * 1.0e9)
+
+    def _block_times_s(self, degree: int, ring_mul: int, ring_add: int) -> float:
+        counts = opcounts_for(self.limbs)
+        block_ops = ring_mul * counts.mul_ops + ring_add * counts.add_ops
+        efficiency = efficiency_for(self.limbs)
+        compute = block_ops / (self.device.per_sm_gflops * 1.0e9 * efficiency)
+        bytes_moved = 3 * (degree + 1) * 8 * self.limbs
+        memory = bytes_moved / (self.device.per_sm_bandwidth_gb_s * 1.0e9)
+        return max(compute, memory) + self._warp_time_s(degree)
+
+    def _overhead_ms(self, blocks: int) -> float:
+        return self.device.launch_overhead_ms + blocks * self.device.per_job_overhead_us * 1.0e-3
+
+    def convolution_launch(self, blocks: int, degree: int, layer: int = 1) -> KernelLaunchTiming:
+        """Predicted timing of one convolution kernel launch of ``blocks`` blocks."""
+        check_block_fits(degree, self.limbs, self.device)
+        waves = self._waves(blocks)
+        ring_mul = (degree + 1) ** 2
+        ring_add = degree * (degree + 1)
+        kernel_ms = waves * self._block_times_s(degree, ring_mul, ring_add) * 1.0e3
+        return KernelLaunchTiming(
+            stage="convolution",
+            layer=layer,
+            blocks=blocks,
+            waves=waves,
+            kernel_ms=kernel_ms,
+            overhead_ms=self._overhead_ms(blocks),
+        )
+
+    def addition_launch(self, blocks: int, degree: int, layer: int = 1) -> KernelLaunchTiming:
+        """Predicted timing of one addition kernel launch."""
+        waves = self._waves(blocks)
+        kernel_ms = waves * self._block_times_s(degree, 0, degree + 1) * 1.0e3
+        return KernelLaunchTiming(
+            stage="addition",
+            layer=layer,
+            blocks=blocks,
+            waves=waves,
+            kernel_ms=kernel_ms,
+            overhead_ms=self._overhead_ms(blocks),
+        )
+
+    def scale_launch(self, blocks: int, degree: int, layer: int = 1) -> KernelLaunchTiming:
+        """Predicted timing of the (optional) exponent-scaling launch."""
+        waves = self._waves(blocks)
+        kernel_ms = waves * self._block_times_s(degree, degree + 1, 0) * 1.0e3
+        return KernelLaunchTiming(
+            stage="scale",
+            layer=layer,
+            blocks=blocks,
+            waves=waves,
+            kernel_ms=kernel_ms,
+            overhead_ms=self._overhead_ms(blocks),
+        )
+
+    # ------------------------------------------------------------------ #
+    # whole schedules
+    # ------------------------------------------------------------------ #
+    def predict(self, schedule) -> TimingReport:
+        """Predict all launches of a :class:`repro.core.JobSchedule`."""
+        degree = schedule.degree
+        report = TimingReport()
+        for layer, blocks in enumerate(schedule.convolution_launches, start=1):
+            if blocks:
+                report.add(self.convolution_launch(blocks, degree, layer))
+        if schedule.scale_jobs:
+            report.add(self.scale_launch(len(schedule.scale_jobs), degree))
+        for layer, blocks in enumerate(schedule.addition_launches, start=1):
+            if blocks:
+                report.add(self.addition_launch(blocks, degree, layer))
+        return report
+
+    def predict_from_launch_sizes(
+        self,
+        convolution_launches,
+        addition_launches,
+        degree: int,
+    ) -> TimingReport:
+        """Predict timings directly from launch sizes (no schedule needed).
+
+        This is what the table benchmarks use: the launch sizes of the
+        paper's test polynomials depend only on their structure, which is
+        known, so the (large) schedules need not be rebuilt for every degree
+        and precision.
+        """
+        report = TimingReport()
+        for layer, blocks in enumerate(convolution_launches, start=1):
+            if blocks:
+                report.add(self.convolution_launch(blocks, degree, layer))
+        for layer, blocks in enumerate(addition_launches, start=1):
+            if blocks:
+                report.add(self.addition_launch(blocks, degree, layer))
+        return report
+
+
+def predict_schedule(schedule, device=None, precision=2) -> TimingReport:
+    """One-call convenience wrapper around :class:`TimingModel`."""
+    model = TimingModel(device=device, precision=precision)
+    return model.predict(schedule)

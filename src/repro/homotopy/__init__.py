@@ -1,0 +1,19 @@
+"""The motivating application: power-series Newton and path tracking."""
+
+from .systems import PolynomialSystem
+from .linsolve import lu_solve, matrix_vector_product, residual_norm
+from .newton import NewtonStep, NewtonResult, newton_power_series
+from .pathtrack import PathPoint, PathTrackResult, TaylorPathTracker
+
+__all__ = [
+    "PolynomialSystem",
+    "lu_solve",
+    "matrix_vector_product",
+    "residual_norm",
+    "NewtonStep",
+    "NewtonResult",
+    "newton_power_series",
+    "PathPoint",
+    "PathTrackResult",
+    "TaylorPathTracker",
+]

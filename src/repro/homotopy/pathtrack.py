@@ -1,0 +1,131 @@
+"""A small Taylor-series path tracker built on the evaluator.
+
+Numerical continuation follows a solution path ``x(t)`` of a family of
+polynomial systems ``H(x, t) = 0`` from ``t = 0`` towards ``t = 1``.  The
+power-series approach of the paper's motivating reference expands ``x`` as a
+truncated series around the current parameter value, refines the expansion
+with Newton's method on power series, advances the parameter by a step ``h``
+by evaluating the series, and repeats.
+
+The tracker is deliberately compact — fixed step size, residual-based
+acceptance — because its purpose here is to exercise the evaluation and
+differentiation machinery the way the real application does, not to compete
+with PHCpack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..errors import ConvergenceError
+from ..series.series import PowerSeries
+from .newton import newton_power_series
+from .systems import PolynomialSystem
+
+__all__ = ["PathPoint", "PathTrackResult", "TaylorPathTracker"]
+
+
+@dataclass(frozen=True)
+class PathPoint:
+    """One accepted point of the tracked path."""
+
+    t: float
+    values: tuple
+    residual: float
+    newton_iterations: int
+
+
+@dataclass
+class PathTrackResult:
+    """The accepted points and the final status of one tracked path."""
+
+    points: list[PathPoint] = field(default_factory=list)
+    success: bool = False
+
+    @property
+    def final_values(self):
+        return self.points[-1].values if self.points else ()
+
+
+class TaylorPathTracker:
+    """Track one solution path of a parameterised polynomial system.
+
+    Parameters
+    ----------
+    system_builder:
+        Callable ``(t0, degree) -> PolynomialSystem`` returning the local
+        system whose series variable is the offset ``s = t - t0``.
+    degree:
+        Truncation degree of the local power-series expansions.
+    step:
+        Parameter step ``h`` taken after each accepted expansion.
+    newton_iterations, tolerance:
+        Passed to :func:`repro.homotopy.newton_power_series`.
+    """
+
+    def __init__(
+        self,
+        system_builder: Callable[[float, int], PolynomialSystem],
+        degree: int = 8,
+        step: float = 0.1,
+        newton_iterations: int = 6,
+        tolerance: float = 1.0e-10,
+    ):
+        if degree < 1:
+            raise ValueError("the tracker needs degree >= 1 to advance")
+        if not 0.0 < step:
+            raise ValueError("the step must be positive")
+        self.system_builder = system_builder
+        self.degree = degree
+        self.step = step
+        self.newton_iterations = newton_iterations
+        self.tolerance = tolerance
+
+    # ------------------------------------------------------------------ #
+    def track(self, start_values: Sequence, t_start: float = 0.0, t_end: float = 1.0) -> PathTrackResult:
+        """Follow the path from ``t_start`` to ``t_end``.
+
+        ``start_values`` are the solution coordinates at ``t_start`` (plain
+        numbers in the coefficient ring of the systems produced by the
+        builder).
+        """
+        result = PathTrackResult()
+        t = float(t_start)
+        values = list(start_values)
+        guard = 0
+        while True:
+            guard += 1
+            if guard > 10_000:
+                raise ConvergenceError("path tracking exceeded the iteration guard")
+            system = self.system_builder(t, self.degree)
+            initial = [PowerSeries.constant(v, self.degree) for v in values]
+            newton = newton_power_series(
+                system,
+                initial,
+                max_iterations=self.newton_iterations,
+                tolerance=self.tolerance,
+            )
+            residual = newton.final_residual
+            if not newton.converged and residual > self.tolerance:
+                result.success = False
+                return result
+            result.points.append(
+                PathPoint(
+                    t=t,
+                    values=tuple(series.constant_term() for series in newton.solution),
+                    residual=residual,
+                    newton_iterations=newton.iterations,
+                )
+            )
+            if t >= t_end:
+                result.success = True
+                return result
+            h = min(self.step, t_end - t)
+            values = [series.evaluate(_promote_step(series, h)) for series in newton.solution]
+            t += h
+
+
+def _promote_step(series: PowerSeries, h: float):
+    """Promote the step size into the coefficient ring of ``series``."""
+    return series.coefficients[0] * 0 + h

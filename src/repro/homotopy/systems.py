@@ -1,0 +1,78 @@
+"""Systems of polynomials with power-series coefficients.
+
+The motivating application of the paper is the robust path tracker of
+PHCpack: Newton's method on power series requires, at every iteration, the
+value and the Jacobian of a *system* of polynomials at a vector of series —
+which is exactly ``n`` invocations of the evaluator this library provides.
+
+:class:`PolynomialSystem` is a thin container around a list of
+:class:`repro.circuits.Polynomial` sharing dimension and truncation degree,
+with convenience methods that evaluate all equations and assemble the
+Jacobian matrix (a matrix of power series).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..circuits.polynomial import Polynomial
+from ..circuits.reference import EvaluationResult
+from ..core.evaluator import PolynomialEvaluator
+from ..errors import StagingError
+from ..series.series import PowerSeries
+
+__all__ = ["PolynomialSystem"]
+
+
+class PolynomialSystem:
+    """A square (or rectangular) system of polynomials in ``dimension`` variables."""
+
+    def __init__(self, polynomials: Sequence[Polynomial], mode: str = "staged"):
+        polynomials = list(polynomials)
+        if not polynomials:
+            raise StagingError("a system needs at least one polynomial")
+        dimension = polynomials[0].dimension
+        degree = polynomials[0].series_degree
+        for k, polynomial in enumerate(polynomials):
+            if polynomial.dimension != dimension:
+                raise StagingError(f"equation {k} has dimension {polynomial.dimension}, expected {dimension}")
+            if polynomial.series_degree != degree:
+                raise StagingError(f"equation {k} has degree {polynomial.series_degree}, expected {degree}")
+        self.polynomials = polynomials
+        self.dimension = dimension
+        self.degree = degree
+        self.evaluators = [PolynomialEvaluator(p, mode=mode) for p in polynomials]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_equations(self) -> int:
+        return len(self.polynomials)
+
+    @property
+    def is_square(self) -> bool:
+        return self.n_equations == self.dimension
+
+    def evaluate(self, z: Sequence[PowerSeries]) -> list[EvaluationResult]:
+        """Value and gradient of every equation at ``z``."""
+        return [evaluator.evaluate(z) for evaluator in self.evaluators]
+
+    def residual(self, z: Sequence[PowerSeries]) -> list[PowerSeries]:
+        """The vector ``F(z)`` only."""
+        return [result.value for result in self.evaluate(z)]
+
+    def jacobian(self, results: Sequence[EvaluationResult]) -> list[list[PowerSeries]]:
+        """Assemble the Jacobian matrix from per-equation results."""
+        return [list(result.gradient) for result in results]
+
+    def map(self, func: Callable[[Polynomial], Polynomial], mode: str = "staged") -> "PolynomialSystem":
+        """Apply a transformation to every equation (e.g. precision change)."""
+        return PolynomialSystem([func(p) for p in self.polynomials], mode=mode)
+
+    def __len__(self) -> int:
+        return self.n_equations
+
+    def __getitem__(self, index: int) -> Polynomial:
+        return self.polynomials[index]
+
+    def __repr__(self) -> str:
+        return f"PolynomialSystem(equations={self.n_equations}, n={self.dimension}, d={self.degree})"

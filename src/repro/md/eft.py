@@ -1,0 +1,182 @@
+"""Scalar error-free transformations (EFTs) on IEEE-754 doubles.
+
+These are the primitives from which every multiple-double operation is
+assembled, exactly as in the QD library of Hida, Li and Bailey and in the
+CAMPARY library used by the paper:
+
+* :func:`two_sum` — Knuth's branch-free sum with exact error term,
+* :func:`quick_two_sum` — Dekker's fast sum, valid when ``|a| >= |b|``,
+* :func:`split` — Dekker/Veltkamp splitting of a double into two 26-bit halves,
+* :func:`two_prod` — exact product: ``a*b = p + e`` with ``p = fl(a*b)``,
+* :func:`two_sqr` — exact square, slightly cheaper than :func:`two_prod`.
+
+All functions operate on plain Python floats and return tuples of floats.
+The results are *exact*: the returned pair ``(s, e)`` satisfies
+``s + e == a ∘ b`` in exact (real) arithmetic with ``s = fl(a ∘ b)``,
+provided no overflow occurs.
+
+The module also exposes an :class:`OperationCounter` used by
+:mod:`repro.md.opcounts` to measure how many double-precision additions,
+subtractions and multiplications each multiple-double operation performs —
+the quantity that drives the paper's flop accounting in Section 6.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SPLITTER",
+    "two_sum",
+    "quick_two_sum",
+    "two_diff",
+    "split",
+    "two_prod",
+    "two_sqr",
+    "OperationCounter",
+    "counted_two_sum",
+    "counted_two_prod",
+]
+
+#: Veltkamp splitting constant ``2**27 + 1`` for binary64.
+SPLITTER = 134217729.0
+
+#: Threshold above which :func:`split` rescales to avoid overflow
+#: (same guard as the QD library).
+_SPLIT_THRESHOLD = 6.69692879491417e299
+_SPLIT_SCALE_DOWN = 3.7252902984619140625e-09  # 2**-28
+_SPLIT_SCALE_UP = 268435456.0  # 2**28
+
+
+def two_sum(a: float, b: float) -> tuple[float, float]:
+    """Return ``(s, e)`` with ``s = fl(a + b)`` and ``s + e == a + b`` exactly.
+
+    Knuth's algorithm: 6 double operations, no branches, no requirement on
+    the relative magnitudes of the operands.
+    """
+    s = a + b
+    bb = s - a
+    err = (a - (s - bb)) + (b - bb)
+    return s, err
+
+
+def quick_two_sum(a: float, b: float) -> tuple[float, float]:
+    """Return ``(s, e)`` assuming ``|a| >= |b|`` (or ``a == 0``).
+
+    Dekker's fast two-sum: 3 double operations.  The precondition is the
+    caller's responsibility; it holds along renormalisation chains where the
+    running sum dominates the incoming term.
+    """
+    s = a + b
+    err = b - (s - a)
+    return s, err
+
+
+def two_diff(a: float, b: float) -> tuple[float, float]:
+    """Return ``(s, e)`` with ``s = fl(a - b)`` and ``s + e == a - b`` exactly."""
+    s = a - b
+    bb = s - a
+    err = (a - (s - bb)) - (b + bb)
+    return s, err
+
+
+def split(a: float) -> tuple[float, float]:
+    """Veltkamp split of ``a`` into ``(hi, lo)`` with ``a == hi + lo``.
+
+    ``hi`` carries the upper 26 significand bits and ``lo`` the lower 26, so
+    that products of halves are exact in double precision.  Inputs of huge
+    magnitude are rescaled first to avoid overflow of ``SPLITTER * a``.
+    """
+    if a > _SPLIT_THRESHOLD or a < -_SPLIT_THRESHOLD:
+        a *= _SPLIT_SCALE_DOWN
+        temp = SPLITTER * a
+        hi = temp - (temp - a)
+        lo = a - hi
+        return hi * _SPLIT_SCALE_UP, lo * _SPLIT_SCALE_UP
+    temp = SPLITTER * a
+    hi = temp - (temp - a)
+    lo = a - hi
+    return hi, lo
+
+
+def two_prod(a: float, b: float) -> tuple[float, float]:
+    """Return ``(p, e)`` with ``p = fl(a * b)`` and ``p + e == a * b`` exactly.
+
+    Dekker's product using Veltkamp splitting (17 double operations).  A
+    fused multiply-add would reduce this to 2 operations but ``math.fma`` is
+    not available on every supported interpreter, and the splitting variant
+    matches the operation counts used by CPU implementations without FMA.
+    """
+    p = a * b
+    a_hi, a_lo = split(a)
+    b_hi, b_lo = split(b)
+    err = ((a_hi * b_hi - p) + a_hi * b_lo + a_lo * b_hi) + a_lo * b_lo
+    return p, err
+
+
+def two_sqr(a: float) -> tuple[float, float]:
+    """Return ``(p, e)`` with ``p = fl(a * a)`` and ``p + e == a * a`` exactly."""
+    p = a * a
+    hi, lo = split(a)
+    err = ((hi * hi - p) + 2.0 * hi * lo) + lo * lo
+    return p, err
+
+
+@dataclass
+class OperationCounter:
+    """Tallies double-precision operations executed through the counted EFTs.
+
+    The counts follow the convention of the paper's reference [20]
+    ("Parallel software to offset the cost of higher precision"), which
+    reports additions, subtractions and multiplications of doubles
+    separately for every multiple-double operation.
+    """
+
+    additions: int = 0
+    subtractions: int = 0
+    multiplications: int = 0
+    divisions: int = 0
+    _stack: list = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """Total number of double operations recorded."""
+        return self.additions + self.subtractions + self.multiplications + self.divisions
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.additions = 0
+        self.subtractions = 0
+        self.multiplications = 0
+        self.divisions = 0
+
+    def snapshot(self) -> tuple[int, int, int, int]:
+        """Return ``(add, sub, mul, div)`` counts."""
+        return (self.additions, self.subtractions, self.multiplications, self.divisions)
+
+    def add(self, n: int = 1) -> None:
+        self.additions += n
+
+    def sub(self, n: int = 1) -> None:
+        self.subtractions += n
+
+    def mul(self, n: int = 1) -> None:
+        self.multiplications += n
+
+    def div(self, n: int = 1) -> None:
+        self.divisions += n
+
+
+def counted_two_sum(a: float, b: float, counter: OperationCounter) -> tuple[float, float]:
+    """:func:`two_sum` that also records its 3 additions and 3 subtractions."""
+    counter.add(3)
+    counter.sub(3)
+    return two_sum(a, b)
+
+
+def counted_two_prod(a: float, b: float, counter: OperationCounter) -> tuple[float, float]:
+    """:func:`two_prod` that records 3 additions, 8 subtractions, 6 multiplications."""
+    counter.add(3)
+    counter.sub(8)
+    counter.mul(6)
+    return two_prod(a, b)

@@ -1,0 +1,137 @@
+"""Registry of the multiple-double precisions used throughout the paper.
+
+The paper extends IEEE double precision two, three, four, five, eight and ten
+fold.  Each precision is identified interchangeably by
+
+* its limb count (``1, 2, 3, 4, 5, 8, 10``),
+* the short name used in the paper's tables (``"1d"`` ... ``"10d"``),
+* a descriptive name (``"double"``, ``"double double"``, ..., ``"deca double"``).
+
+:class:`Precision` bundles the limb count with derived quantities (unit
+round-off, decimal digits, bytes per number) and the per-operation double
+flop counts used by the performance model of Section 6.2 (see
+:mod:`repro.md.opcounts`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..errors import PrecisionError
+
+__all__ = [
+    "Precision",
+    "PRECISIONS",
+    "PAPER_PRECISIONS",
+    "get_precision",
+    "limbs_of",
+]
+
+
+@dataclass(frozen=True)
+class Precision:
+    """Description of one multiple-double format.
+
+    Attributes
+    ----------
+    limbs:
+        Number of doubles per value (``k``).
+    short_name:
+        The label used in the paper's tables, e.g. ``"4d"``.
+    name:
+        Human-readable name, e.g. ``"quad double"``.
+    """
+
+    limbs: int
+    short_name: str
+    name: str
+
+    @property
+    def epsilon(self) -> float:
+        """Unit round-off of the format, ``2**(-52*limbs - 1)``.
+
+        For deca doubles this underflows to zero in double precision; the
+        exponent is still meaningful, so prefer :attr:`log2_epsilon` for
+        comparisons at high precision.
+        """
+        return 2.0 ** self.log2_epsilon
+
+    @property
+    def log2_epsilon(self) -> int:
+        """Base-2 logarithm of the unit round-off."""
+        return -(52 * self.limbs + 1)
+
+    @property
+    def decimal_digits(self) -> int:
+        """Approximate number of significant decimal digits."""
+        return int(52 * self.limbs * 0.30103)
+
+    @property
+    def bytes_per_number(self) -> int:
+        """Storage per real value (8 bytes per limb)."""
+        return 8 * self.limbs
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.short_name
+
+
+#: All precisions exercised in the paper's experiments, keyed by limb count.
+PRECISIONS: dict[int, Precision] = {
+    1: Precision(1, "1d", "double"),
+    2: Precision(2, "2d", "double double"),
+    3: Precision(3, "3d", "triple double"),
+    4: Precision(4, "4d", "quad double"),
+    5: Precision(5, "5d", "penta double"),
+    8: Precision(8, "8d", "octo double"),
+    10: Precision(10, "10d", "deca double"),
+}
+
+#: Limb counts in the order the paper's figures enumerate precisions.
+PAPER_PRECISIONS: tuple[int, ...] = (1, 2, 3, 4, 5, 8, 10)
+
+_BY_NAME: dict[str, Precision] = {}
+for _p in PRECISIONS.values():
+    _BY_NAME[_p.short_name] = _p
+    _BY_NAME[_p.name] = _p
+    _BY_NAME[_p.name.replace(" ", "_")] = _p
+    _BY_NAME[_p.name.replace(" ", "")] = _p
+
+
+@lru_cache(maxsize=None)
+def _generic(limbs: int) -> Precision:
+    return Precision(limbs, f"{limbs}d", f"{limbs}-fold double")
+
+
+def get_precision(spec) -> Precision:
+    """Resolve a precision from a limb count, a name, or a Precision.
+
+    Any positive integer limb count is accepted (the arithmetic is generic in
+    ``k``); the seven counts used in the paper get their canonical names.
+
+    >>> get_precision(4).name
+    'quad double'
+    >>> get_precision("10d").limbs
+    10
+    """
+    if isinstance(spec, Precision):
+        return spec
+    if isinstance(spec, int) and not isinstance(spec, bool):
+        if spec in PRECISIONS:
+            return PRECISIONS[spec]
+        if spec >= 1:
+            return _generic(spec)
+        raise PrecisionError(f"limb count must be >= 1, got {spec}")
+    if isinstance(spec, str):
+        key = spec.strip().lower()
+        if key in _BY_NAME:
+            return _BY_NAME[key]
+        if key.endswith("d") and key[:-1].isdigit():
+            return get_precision(int(key[:-1]))
+        raise PrecisionError(f"unknown precision name: {spec!r}")
+    raise PrecisionError(f"cannot interpret {spec!r} as a precision")
+
+
+def limbs_of(spec) -> int:
+    """Shorthand for ``get_precision(spec).limbs``."""
+    return get_precision(spec).limbs

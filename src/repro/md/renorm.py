@@ -1,0 +1,107 @@
+"""Expansion arithmetic and renormalisation for multiple-double numbers.
+
+A *multiple double* with ``k`` limbs represents a real number as an unevaluated
+sum of ``k`` doubles of decreasing magnitude whose significands do not overlap.
+Every arithmetic operation first produces a longer list of doubles (the exact
+or nearly exact result) and then *renormalises* it back to ``k``
+non-overlapping limbs.
+
+This module implements the scalar (pure Python) machinery:
+
+* Shewchuk's ``grow_expansion`` — robust accumulation of arbitrary doubles
+  into a non-overlapping expansion, regardless of input ordering;
+* :func:`renormalize` — the entry point used by :class:`repro.md.MultiDouble`:
+  take any list of doubles whose exact sum is the desired value and return
+  the leading ``k`` limbs of that sum, via repeated extract-and-subtract of
+  the rounded remainder (each subtraction is exact, so the only error left
+  after ``k`` limbs is the final remainder, far below the last limb's ulp).
+
+The vectorised (NumPy) counterpart lives in :mod:`repro.md.vrenorm`; it uses a
+branch-free distillation so the same work can be applied elementwise to whole
+coefficient arrays, mirroring the data layout of the paper (one array per
+limb).
+"""
+
+from __future__ import annotations
+
+from .eft import two_sum
+
+__all__ = [
+    "grow_expansion",
+    "expansion_from_terms",
+    "renormalize",
+    "expansion_value",
+]
+
+
+def grow_expansion(expansion: list[float], b: float) -> list[float]:
+    """Add the double ``b`` into a non-overlapping ``expansion``.
+
+    The input expansion is ordered by *increasing* magnitude (Shewchuk's
+    convention) and the output preserves that ordering and non-overlap.
+    Exact: the sum of the returned doubles equals ``sum(expansion) + b`` in
+    real arithmetic.  Zero error terms are dropped.
+    """
+    result: list[float] = []
+    q = b
+    for component in expansion:
+        q, err = two_sum(q, component)
+        if err != 0.0:
+            result.append(err)
+    result.append(q)
+    return result
+
+
+def expansion_from_terms(terms) -> list[float]:
+    """Build a non-overlapping expansion whose exact sum equals ``sum(terms)``.
+
+    The terms may come in any order and may overlap arbitrarily; this is the
+    robust path used for multiple-double multiplication where partial
+    products are produced diagonal by diagonal.
+    """
+    expansion: list[float] = []
+    for t in terms:
+        if t != 0.0:
+            expansion = grow_expansion(expansion, float(t))
+    return expansion
+
+
+def expansion_value(expansion) -> float:
+    """Round an expansion to a single double.
+
+    Summing a non-overlapping expansion from its smallest component upwards
+    yields a value within one ulp of the exact sum, which is all the callers
+    (limb extraction, diagnostics) require.
+    """
+    total = 0.0
+    for component in expansion:
+        total += component
+    return total
+
+
+def renormalize(terms, limbs: int) -> tuple[float, ...]:
+    """Return the leading ``limbs`` components of ``sum(terms)``.
+
+    ``terms`` is any iterable of doubles; the result is a tuple of exactly
+    ``limbs`` doubles ordered by decreasing magnitude whose sum is a faithful
+    approximation of the exact sum of the inputs to ``limbs``-double
+    precision (error bounded by the ulp of the last limb).  Missing
+    components are padded with ``0.0``.
+
+    Algorithm: build the exact non-overlapping expansion of the inputs, then
+    repeat ``limbs`` times: round the remaining expansion to a double (the
+    next limb) and subtract that double exactly from the expansion.
+    """
+    if limbs < 1:
+        raise ValueError(f"limbs must be >= 1, got {limbs}")
+    expansion = expansion_from_terms(terms)
+    out: list[float] = []
+    for _ in range(limbs):
+        if not expansion:
+            out.append(0.0)
+            continue
+        limb = expansion_value(expansion)
+        out.append(limb)
+        if limb != 0.0:
+            expansion = [c for c in grow_expansion(expansion, -limb) if c != 0.0]
+    return tuple(out)

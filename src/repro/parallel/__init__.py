@@ -1,0 +1,6 @@
+"""Host-side parallel execution of the layered job schedule."""
+
+from .partition import chunk_evenly
+from .pool import LayerParallelExecutor
+
+__all__ = ["chunk_evenly", "LayerParallelExecutor"]

@@ -1,0 +1,83 @@
+"""Host-side parallel execution of job layers.
+
+The layered job schedule is exactly a sequence of barriers: all jobs of one
+layer are independent, the next layer may only start when the previous one
+has finished.  :class:`LayerParallelExecutor` maps this onto a thread pool —
+each layer is split into one chunk per worker (:mod:`repro.parallel.partition`)
+and the chunks run concurrently, with a join between layers.
+
+On CPython the global interpreter lock limits the speedup for pure-Python
+coefficient rings; the point of this executor is to exercise the *structure*
+of the parallel algorithm (independence within layers, barriers between
+them) on the host and to provide a second, independent implementation the
+test suite can compare against the sequential ``staged`` mode.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor, wait
+from typing import Sequence
+
+from ..series.series import PowerSeries
+from .partition import chunk_evenly
+
+__all__ = ["LayerParallelExecutor"]
+
+
+class LayerParallelExecutor:
+    """Executes a :class:`repro.core.JobSchedule` with a thread pool."""
+
+    def __init__(self, workers: int | None = None):
+        if workers is None:
+            workers = max(1, (os.cpu_count() or 2) - 1)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    # ------------------------------------------------------------------ #
+    def run_schedule(self, schedule, slots: list[PowerSeries]) -> None:
+        """Run all stages of ``schedule`` in place on the slot array."""
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            for layer in schedule.convolutions.layers():
+                self._run_convolution_layer(pool, layer, slots)
+            if schedule.scale_jobs:
+                self._run_scale_layer(pool, schedule.scale_jobs, slots)
+            for layer in schedule.additions.layers():
+                self._run_addition_layer(pool, layer, slots)
+
+    # ------------------------------------------------------------------ #
+    def _run_convolution_layer(self, pool, jobs: Sequence, slots: list[PowerSeries]) -> None:
+        def work(chunk):
+            for job in chunk:
+                slots[job.output] = slots[job.input1].convolve(slots[job.input2])
+
+        self._dispatch(pool, jobs, work)
+
+    def _run_scale_layer(self, pool, jobs: Sequence, slots: list[PowerSeries]) -> None:
+        def work(chunk):
+            for job in chunk:
+                factor = slots[job.slot].coefficients[0] * 0 + job.factor
+                slots[job.slot] = slots[job.slot].scale(factor)
+
+        self._dispatch(pool, jobs, work)
+
+    def _run_addition_layer(self, pool, jobs: Sequence, slots: list[PowerSeries]) -> None:
+        def work(chunk):
+            for job in chunk:
+                slots[job.target] = slots[job.target] + slots[job.source]
+
+        self._dispatch(pool, jobs, work)
+
+    def _dispatch(self, pool, jobs: Sequence, work) -> None:
+        if not jobs:
+            return
+        chunks = chunk_evenly(list(jobs), self.workers)
+        if len(chunks) == 1:
+            work(chunks[0])
+            return
+        futures = [pool.submit(work, chunk) for chunk in chunks]
+        done, _ = wait(futures)
+        for future in done:
+            # Re-raise worker exceptions on the caller.
+            future.result()

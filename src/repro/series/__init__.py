@@ -1,0 +1,44 @@
+"""Truncated power series arithmetic (the paper's data type).
+
+* :class:`PowerSeries` — generic truncated series over any coefficient ring;
+* :mod:`repro.series.convolution` — the sequential, zero-insertion and
+  vectorised convolution algorithms of Section 2;
+* :class:`MDSeries` — structure-of-arrays multiple-double series;
+* :mod:`repro.series.random` — random test series (PHCpack style).
+"""
+
+from .series import PowerSeries
+from .convolution import (
+    convolve_direct,
+    convolve_zero_insertion,
+    add_coefficients,
+    convolve_vectorized,
+    convolution_operation_count,
+    addition_operation_count,
+)
+from .vectorseries import MDSeries
+from .random import (
+    random_float_series,
+    random_complex_series,
+    random_md_series,
+    random_complex_md_series,
+    random_fraction_series,
+    random_series_vector,
+)
+
+__all__ = [
+    "PowerSeries",
+    "convolve_direct",
+    "convolve_zero_insertion",
+    "add_coefficients",
+    "convolve_vectorized",
+    "convolution_operation_count",
+    "addition_operation_count",
+    "MDSeries",
+    "random_float_series",
+    "random_complex_series",
+    "random_md_series",
+    "random_complex_md_series",
+    "random_fraction_series",
+    "random_series_vector",
+]

@@ -1,0 +1,99 @@
+"""Random truncated power series, in the style of the paper's test data.
+
+PHCpack generates test problems with random coefficients on the complex unit
+circle; the paper's timing runs use random real/complex series truncated at
+the working degree.  These helpers produce such series for every coefficient
+ring the library supports (floats, complexes, multiple doubles, complex
+multiple doubles, exact fractions for oracles).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+from ..md.complexmd import ComplexMD
+from ..md.multidouble import MultiDouble
+from ..md.precision import get_precision
+from .series import PowerSeries
+
+__all__ = [
+    "random_float_series",
+    "random_complex_series",
+    "random_md_series",
+    "random_complex_md_series",
+    "random_fraction_series",
+    "random_series_vector",
+]
+
+
+def random_float_series(degree: int, rng: random.Random | None = None) -> PowerSeries:
+    """Random double-precision series with coefficients in ``[-1, 1)``."""
+    rng = rng or random
+    return PowerSeries([rng.uniform(-1.0, 1.0) for _ in range(degree + 1)])
+
+
+def random_complex_series(degree: int, rng: random.Random | None = None) -> PowerSeries:
+    """Random complex series with coefficients on the unit circle."""
+    rng = rng or random
+    coeffs = []
+    for _ in range(degree + 1):
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        coeffs.append(complex(math.cos(angle), math.sin(angle)))
+    return PowerSeries(coeffs)
+
+
+def random_md_series(degree: int, precision=2, rng: random.Random | None = None) -> PowerSeries:
+    """Random multiple-double series with noise in every limb."""
+    rng = rng or random
+    prec = get_precision(precision)
+    return PowerSeries([MultiDouble.random(prec, rng) for _ in range(degree + 1)])
+
+
+def random_complex_md_series(
+    degree: int, precision=2, rng: random.Random | None = None
+) -> PowerSeries:
+    """Random complex multiple-double series on the unit circle."""
+    rng = rng or random
+    prec = get_precision(precision)
+    coeffs = []
+    for _ in range(degree + 1):
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        coeffs.append(ComplexMD.unit_circle(angle, prec))
+    return PowerSeries(coeffs)
+
+
+def random_fraction_series(
+    degree: int, rng: random.Random | None = None, denominator: int = 997
+) -> PowerSeries:
+    """Random exact-rational series (oracle-friendly coefficients)."""
+    rng = rng or random
+    return PowerSeries(
+        [Fraction(rng.randint(-denominator, denominator), denominator) for _ in range(degree + 1)]
+    )
+
+
+def random_series_vector(
+    count: int,
+    degree: int,
+    kind: str = "float",
+    precision=2,
+    rng: random.Random | None = None,
+) -> list[PowerSeries]:
+    """A vector of ``count`` random series (the input ``z`` of the evaluator).
+
+    ``kind`` selects the coefficient ring: ``"float"``, ``"complex"``,
+    ``"md"``, ``"complex_md"`` or ``"fraction"``.
+    """
+    rng = rng or random
+    makers = {
+        "float": lambda: random_float_series(degree, rng),
+        "complex": lambda: random_complex_series(degree, rng),
+        "md": lambda: random_md_series(degree, precision, rng),
+        "complex_md": lambda: random_complex_md_series(degree, precision, rng),
+        "fraction": lambda: random_fraction_series(degree, rng),
+    }
+    if kind not in makers:
+        raise ValueError(f"unknown series kind {kind!r}; choose from {sorted(makers)}")
+    return [makers[kind]() for _ in range(count)]

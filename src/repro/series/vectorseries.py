@@ -1,0 +1,117 @@
+"""Power series with structure-of-arrays multiple-double coefficients.
+
+:class:`MDSeries` stores the ``d + 1`` coefficients of a truncated series as
+one :class:`repro.md.MDArray` — one contiguous row per limb — which is the
+exact host-side mirror of the paper's device data layout.  Additions touch
+each coefficient once (one vectorised renormalisation), and products use the
+vectorised convolution of :mod:`repro.series.convolution`.
+
+Use :class:`repro.series.PowerSeries` with :class:`repro.md.MultiDouble`
+coefficients when clarity matters and :class:`MDSeries` when the coefficient
+vectors are long enough for vectorisation to pay off (the micro-benchmarks
+compare both).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..md.mdarray import MDArray
+from ..md.multidouble import MultiDouble
+from ..md.precision import get_precision
+from .convolution import convolve_vectorized
+from .series import PowerSeries
+
+__all__ = ["MDSeries"]
+
+
+class MDSeries:
+    """A truncated power series whose coefficients live in an :class:`MDArray`."""
+
+    __slots__ = ("coefficients",)
+
+    def __init__(self, coefficients: MDArray):
+        self.coefficients = coefficients
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def zero(cls, degree: int, precision=2) -> "MDSeries":
+        return cls(MDArray.zeros(degree + 1, precision))
+
+    @classmethod
+    def from_doubles(cls, values: Sequence[float], precision=2) -> "MDSeries":
+        return cls(MDArray.from_doubles(np.asarray(values, dtype=np.float64), precision))
+
+    @classmethod
+    def from_power_series(cls, series: PowerSeries, precision=None) -> "MDSeries":
+        """Pack a scalar-coefficient :class:`PowerSeries` (MultiDouble or float)."""
+        coeffs = []
+        for c in series.coefficients:
+            if isinstance(c, MultiDouble):
+                coeffs.append(c)
+            else:
+                coeffs.append(MultiDouble.from_float(float(c), precision if precision is not None else 2))
+        return cls(MDArray.from_multidoubles(coeffs, precision))
+
+    @classmethod
+    def random(cls, degree: int, precision=2, rng=None) -> "MDSeries":
+        return cls(MDArray.random(degree + 1, precision, rng))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def degree(self) -> int:
+        return self.coefficients.size - 1
+
+    @property
+    def precision(self):
+        return get_precision(self.coefficients.limbs)
+
+    def copy(self) -> "MDSeries":
+        return MDSeries(self.coefficients.copy())
+
+    def to_power_series(self) -> PowerSeries:
+        """Unpack into a scalar-coefficient :class:`PowerSeries`."""
+        return PowerSeries(self.coefficients.to_multidoubles())
+
+    def to_float(self) -> np.ndarray:
+        """Round every coefficient to a double."""
+        return self.coefficients.to_float()
+
+    def __getitem__(self, k: int) -> MultiDouble:
+        return self.coefficients[k]
+
+    def __setitem__(self, k: int, value) -> None:
+        self.coefficients[k] = value
+
+    # ------------------------------------------------------------------ #
+    def _check(self, other: "MDSeries") -> None:
+        if self.degree != other.degree:
+            raise ValueError("series degrees differ")
+
+    def __add__(self, other: "MDSeries") -> "MDSeries":
+        self._check(other)
+        return MDSeries(self.coefficients + other.coefficients)
+
+    def __sub__(self, other: "MDSeries") -> "MDSeries":
+        self._check(other)
+        return MDSeries(self.coefficients - other.coefficients)
+
+    def __neg__(self) -> "MDSeries":
+        return MDSeries(-self.coefficients)
+
+    def __mul__(self, other) -> "MDSeries":
+        if isinstance(other, MDSeries):
+            self._check(other)
+            return MDSeries(convolve_vectorized(self.coefficients, other.coefficients))
+        return MDSeries(self.coefficients * other)
+
+    __rmul__ = __mul__
+
+    def allclose(self, other: "MDSeries", tol: float | None = None) -> bool:
+        """Coefficientwise comparison at the working precision."""
+        return self.coefficients.allclose(other.coefficients, tol)
+
+    def __repr__(self):
+        return f"MDSeries(degree={self.degree}, precision={self.coefficients.limbs})"

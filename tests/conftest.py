@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for reproducible tests."""
+    return random.Random(20210312)
+
+
+@pytest.fixture
+def nprng():
+    """A deterministic NumPy generator."""
+    import numpy as np
+
+    return np.random.default_rng(20210312)

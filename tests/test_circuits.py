@@ -1,0 +1,222 @@
+"""Tests for monomials, polynomials, the power table and the parser."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits import Monomial, Polynomial, PowerTable, parse_polynomial
+from repro.errors import ParseError, StagingError
+from repro.series import PowerSeries, random_fraction_series
+
+
+def const(value, degree=2):
+    return PowerSeries.constant(Fraction(value), degree)
+
+
+class TestMonomial:
+    def test_make_from_indices(self):
+        m = Monomial.make(const(1), [2, 0, 5])
+        assert m.support == (0, 2, 5)
+        assert m.n_variables == 3
+        assert m.is_multilinear
+        assert m.total_degree == 3
+
+    def test_make_from_mapping(self):
+        m = Monomial.make(const(1), {1: 3, 4: 2})
+        assert m.support == (1, 4)
+        assert m.exponent_of(1) == 3
+        assert m.exponent_of(4) == 2
+        assert m.exponent_of(0) == 0
+        assert not m.is_multilinear
+        assert m.total_degree == 5
+
+    def test_repeated_indices_accumulate(self):
+        m = Monomial.make(const(1), [1, 1, 2])
+        assert m.exponent_of(1) == 2
+        assert not m.is_multilinear
+
+    def test_invalid_inputs(self):
+        with pytest.raises(StagingError):
+            Monomial.make(const(1), [])
+        with pytest.raises(StagingError):
+            Monomial.make(const(1), {-1: 1})
+        with pytest.raises(StagingError):
+            Monomial.make(const(1), {0: 0})
+
+    def test_convolution_job_count(self):
+        assert Monomial.make(const(1), [0]).convolution_job_count() == 1
+        assert Monomial.make(const(1), [0, 1]).convolution_job_count() == 3
+        assert Monomial.make(const(1), [0, 1, 2]).convolution_job_count() == 6
+        assert Monomial.make(const(1), [0, 1, 2, 3]).convolution_job_count() == 9
+        assert Monomial.make(const(1), list(range(64))).convolution_job_count() == 189
+
+    def test_string_form(self):
+        m = Monomial.make(const(1), {0: 1, 2: 3})
+        assert str(m) == "x1*x3^3"
+
+    def test_split_common_factor(self, rng):
+        degree = 4
+        z = [random_fraction_series(degree, rng) for _ in range(3)]
+        coefficient = random_fraction_series(degree, rng)
+        m = Monomial.make(coefficient, {0: 3, 2: 2})
+        adjusted, shadow, scaling = m.split_common_factor(z)
+        assert shadow.is_multilinear
+        assert shadow.support == (0, 2)
+        assert scaling == {0: 3, 2: 2}
+        # adjusted = a * z0^2 * z2^1
+        expected = coefficient * (z[0] * z[0]) * z[2]
+        assert adjusted == expected
+
+    def test_split_common_factor_multilinear_is_identity(self, rng):
+        z = [random_fraction_series(2, rng) for _ in range(2)]
+        m = Monomial.make(const(5), [0, 1])
+        adjusted, shadow, scaling = m.split_common_factor(z)
+        assert adjusted == m.coefficient
+        assert scaling == {}
+
+
+class TestPowerTable:
+    def test_powers_are_cached_and_correct(self, rng):
+        z = [random_fraction_series(5, rng) for _ in range(2)]
+        table = PowerTable(z)
+        assert table.power(0, 1) is z[0]
+        square = table.power(0, 2)
+        assert square == z[0] * z[0]
+        cube = table.power(0, 3)
+        assert cube == z[0] * z[0] * z[0]
+        assert table.power(0, 2) is square  # cached
+        assert table.convolutions_performed() == 2
+        assert table.dimension == 2
+
+    def test_invalid_exponent(self, rng):
+        table = PowerTable([random_fraction_series(2, rng)])
+        with pytest.raises(ValueError):
+            table.power(0, 0)
+
+
+class TestPolynomial:
+    def make_poly(self, degree=3):
+        constant = const(7, degree)
+        monomials = [
+            Monomial.make(const(1, degree), [0, 1, 2]),
+            Monomial.make(const(2, degree), [0, 3]),
+            Monomial.make(const(3, degree), [2]),
+        ]
+        return Polynomial(4, constant, monomials)
+
+    def test_summary_quantities(self):
+        p = self.make_poly()
+        assert p.dimension == 4
+        assert p.n_monomials == 3
+        assert p.series_degree == 3
+        assert p.max_variables_per_monomial == 3
+        assert p.is_multilinear
+        assert p.supports() == [(0, 1, 2), (0, 3), (2,)]
+        assert p.variables_used() == {0, 1, 2, 3}
+        assert p.monomials_per_variable() == {0: 2, 1: 1, 2: 2, 3: 1}
+
+    def test_job_counts(self):
+        p = self.make_poly()
+        assert p.convolution_job_count() == 6 + 3 + 1
+        # value: 3 additions; vars 0 and 2 have two contributions each: +2
+        assert p.addition_job_count() == 3 + 2
+        summary = p.summary()
+        assert summary["N"] == 3
+        assert summary["convolutions"] == 10
+        assert summary["additions"] == 5
+
+    def test_validation(self):
+        with pytest.raises(StagingError):
+            Polynomial(2, const(1, 2), [Monomial.make(const(1, 3), [0])])
+        with pytest.raises(StagingError):
+            Polynomial(2, const(1, 2), [Monomial.make(const(1, 2), [5])])
+        with pytest.raises(StagingError):
+            Polynomial(0, const(1, 2), [])
+
+    def test_from_supports(self):
+        p = Polynomial.from_supports(
+            3, const(0, 1), [(0, 1), (1, 2)], [const(1, 1), const(2, 1)]
+        )
+        assert p.n_monomials == 2
+        with pytest.raises(StagingError):
+            Polynomial.from_supports(3, const(0, 1), [(0, 1)], [])
+
+    def test_map_coefficients(self):
+        p = self.make_poly()
+        doubled = p.map_coefficients(lambda s: s.scale(Fraction(2)))
+        assert doubled.constant.coefficients[0] == 14
+        assert doubled.monomials[0].coefficient.coefficients[0] == 2
+
+    def test_str_and_repr(self):
+        p = self.make_poly()
+        assert "a0" in str(p)
+        assert "Polynomial" in repr(p)
+
+
+class TestParser:
+    def test_simple_polynomial(self):
+        p = parse_polynomial("1 + 2*x1*x2 - 0.5*x3", degree=2, kind="fraction")
+        assert p.dimension == 3
+        assert p.constant.coefficients[0] == 1
+        assert p.n_monomials == 2
+        assert p.monomials[0].support == (0, 1)
+        assert p.monomials[0].coefficient.coefficients[0] == 2
+        assert p.monomials[1].coefficient.coefficients[0] == Fraction(-1, 2)
+
+    def test_exponents_and_repeated_variables(self):
+        p = parse_polynomial("x1^2*x2 + x1*x1", kind="fraction")
+        assert p.monomials[0].exponent_of(0) == 2
+        assert p.monomials[1].exponent_of(0) == 2
+
+    def test_constant_only_and_signs(self):
+        p = parse_polynomial("-3 + 2", dimension=2, kind="fraction")
+        assert p.n_monomials == 0
+        assert p.constant.coefficients[0] == -1
+
+    def test_dimension_inference_and_override(self):
+        p = parse_polynomial("x5", degree=1)
+        assert p.dimension == 5
+        q = parse_polynomial("x2", dimension=4)
+        assert q.dimension == 4
+        with pytest.raises(ParseError):
+            parse_polynomial("x9", dimension=3)
+
+    def test_md_coefficients(self):
+        p = parse_polynomial("1.5*x1", degree=2, kind="md", precision=4)
+        assert p.monomials[0].coefficient.coefficients[0].to_fraction() == Fraction(3, 2)
+
+    def test_scientific_notation(self):
+        p = parse_polynomial("2e-3*x1", kind="fraction")
+        assert p.monomials[0].coefficient.coefficients[0] == Fraction(2, 1000)
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse_polynomial("")
+        with pytest.raises(ParseError):
+            parse_polynomial("x1 + + x2")
+        with pytest.raises(ParseError):
+            parse_polynomial("x1*")
+        with pytest.raises(ParseError):
+            parse_polynomial("y1 + 2")
+        with pytest.raises(ParseError):
+            parse_polynomial("x0")
+        with pytest.raises(ParseError):
+            parse_polynomial("x1", kind="unknown")
+
+    def test_parsed_polynomial_evaluates_consistently(self, rng):
+        from repro.circuits import evaluate_reference
+
+        p = parse_polynomial("2 + x1*x2 - 3*x2^2*x3", degree=3, kind="fraction")
+        z = [random_fraction_series(3, rng) for _ in range(3)]
+        result = evaluate_reference(p, z)
+        expected_value = (
+            PowerSeries.constant(Fraction(2), 3)
+            + z[0] * z[1]
+            - (z[1] * z[1] * z[2]).scale(Fraction(3))
+        )
+        assert result.value == expected_value
+        assert result.gradient[0] == z[1]
+        assert result.gradient[1] == z[0] - (z[1] * z[2]).scale(Fraction(6))
+        assert result.gradient[2] == -(z[1] * z[1]).scale(Fraction(3))

@@ -1,0 +1,132 @@
+"""Tests for complex multiple doubles (scalar and array)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.md import ComplexMD, ComplexMDArray, MDArray, MultiDouble
+
+
+class TestComplexMDScalar:
+    def test_construction_from_floats(self):
+        z = ComplexMD(1.5, -2.0, precision=4)
+        assert z.real.to_float() == 1.5
+        assert z.imag.to_float() == -2.0
+        assert z.precision.limbs == 4
+
+    def test_from_complex_and_back(self):
+        z = ComplexMD.from_complex(3 - 4j, 3)
+        assert z.to_complex() == 3 - 4j
+
+    def test_zero_one(self):
+        assert ComplexMD.zero(2).is_zero()
+        assert ComplexMD.one(2).to_complex() == 1 + 0j
+
+    def test_unit_circle(self):
+        z = ComplexMD.unit_circle(math.pi / 3, 4)
+        assert abs(z.to_complex() - complex(math.cos(math.pi / 3), math.sin(math.pi / 3))) < 1e-15
+        assert abs(z.norm_squared().to_float() - 1.0) < 1e-15
+
+    def test_arithmetic_matches_python_complex(self, rng):
+        for _ in range(25):
+            a = complex(rng.uniform(-1, 1), rng.uniform(-1, 1))
+            b = complex(rng.uniform(-1, 1), rng.uniform(-1, 1))
+            A = ComplexMD.from_complex(a, 4)
+            B = ComplexMD.from_complex(b, 4)
+            assert abs((A + B).to_complex() - (a + b)) < 1e-14
+            assert abs((A - B).to_complex() - (a - b)) < 1e-14
+            assert abs((A * B).to_complex() - (a * b)) < 1e-14
+            if abs(b) > 1e-3:
+                assert abs((A / B).to_complex() - (a / b)) < 1e-12
+
+    def test_conjugate_and_abs(self):
+        z = ComplexMD(3.0, 4.0, precision=4)
+        assert z.conjugate().to_complex() == 3 - 4j
+        assert abs(z.abs().to_float() - 5.0) < 1e-14
+
+    def test_mixed_operands(self):
+        z = ComplexMD(1.0, 1.0, precision=2)
+        assert (z + 1).to_complex() == 2 + 1j
+        assert (2 * z).to_complex() == 2 + 2j
+        assert (z * MultiDouble.from_float(3.0, 2)).to_complex() == 3 + 3j
+        assert (z + (0 + 1j)).to_complex() == 1 + 2j
+
+    def test_equality_and_hash(self):
+        a = ComplexMD(1.0, 2.0, precision=2)
+        b = ComplexMD(1.0, 2.0, precision=2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != ComplexMD(1.0, 2.5, precision=2)
+
+    def test_precision_change(self):
+        z = ComplexMD(1.0, 1.0, precision=2).to_precision(8)
+        assert z.precision.limbs == 8
+
+    def test_invalid_operand(self):
+        with pytest.raises(TypeError):
+            ComplexMD.one(2) + [1, 2]  # type: ignore[operand]
+
+    def test_high_precision_multiplication_accuracy(self, rng):
+        a = ComplexMD(MultiDouble.random(10, rng), MultiDouble.random(10, rng))
+        b = ComplexMD(MultiDouble.random(10, rng), MultiDouble.random(10, rng))
+        product = a * b
+        # |z1*z2| == |z1| * |z2| to working precision.
+        lhs = product.norm_squared().to_fraction()
+        rhs = (a.norm_squared() * b.norm_squared()).to_fraction()
+        scale = max(abs(rhs), 1)
+        assert abs(lhs - rhs) / scale < 2 ** (-52 * 10 + 16)
+
+
+class TestComplexMDArray:
+    def test_zeros_and_shape(self):
+        a = ComplexMDArray.zeros(4, 3)
+        assert a.size == 4
+        assert a.limbs == 3
+        assert len(a) == 4
+
+    def test_from_complex_values(self):
+        values = [1 + 1j, 2 - 3j, -0.5 + 0.25j]
+        a = ComplexMDArray.from_complex_values(values, 2)
+        assert np.allclose(a.to_complex(), values)
+
+    def test_random_unit_circle(self, nprng):
+        a = ComplexMDArray.random_unit_circle(50, 2, nprng)
+        moduli = np.abs(a.to_complex())
+        assert np.allclose(moduli, 1.0, atol=1e-12)
+
+    def test_elementwise_arithmetic(self, nprng):
+        a = ComplexMDArray.random_unit_circle(10, 4, nprng)
+        b = ComplexMDArray.random_unit_circle(10, 4, nprng)
+        total = a + b
+        product = a * b
+        assert np.allclose(total.to_complex(), a.to_complex() + b.to_complex(), atol=1e-13)
+        assert np.allclose(product.to_complex(), a.to_complex() * b.to_complex(), atol=1e-13)
+        assert np.allclose((a - b).to_complex(), a.to_complex() - b.to_complex(), atol=1e-13)
+        assert np.allclose((-a).to_complex(), -a.to_complex(), atol=1e-15)
+
+    def test_get_and_set_item(self, nprng):
+        a = ComplexMDArray.zeros(3, 2)
+        a[1] = 2 + 5j
+        assert a[1].to_complex() == 2 + 5j
+        a[0] = ComplexMD(1.0, -1.0, precision=2)
+        assert a[0].to_complex() == 1 - 1j
+
+    def test_from_scalars_roundtrip(self, rng):
+        scalars = [ComplexMD(MultiDouble.random(3, rng), MultiDouble.random(3, rng)) for _ in range(5)]
+        array = ComplexMDArray.from_scalars(scalars)
+        back = array.to_scalars()
+        assert all(x == y for x, y in zip(scalars, back))
+
+    def test_mismatched_parts_rejected(self):
+        with pytest.raises(ValueError):
+            ComplexMDArray(MDArray.zeros(3, 2), MDArray.zeros(4, 2))
+
+    def test_allclose_and_copy(self, nprng):
+        a = ComplexMDArray.random_unit_circle(6, 2, nprng)
+        b = a.copy()
+        assert a.allclose(b)
+        b.real.data[0, 0] += 1e-3
+        assert not a.allclose(b)

@@ -1,0 +1,147 @@
+"""Unit tests for the scalar error-free transformations."""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.md.eft import (
+    OperationCounter,
+    counted_two_prod,
+    counted_two_sum,
+    quick_two_sum,
+    split,
+    two_diff,
+    two_prod,
+    two_sqr,
+    two_sum,
+)
+
+
+def random_double(rng: random.Random) -> float:
+    return rng.uniform(-1.0, 1.0) * 10.0 ** rng.randint(-12, 12)
+
+
+class TestTwoSum:
+    def test_exactness_on_random_inputs(self, rng):
+        for _ in range(500):
+            a, b = random_double(rng), random_double(rng)
+            s, e = two_sum(a, b)
+            assert Fraction(s) + Fraction(e) == Fraction(a) + Fraction(b)
+            assert s == a + b
+
+    def test_error_term_captures_cancellation(self):
+        a = 1.0
+        b = 1e-30
+        s, e = two_sum(a, b)
+        assert s == 1.0
+        assert e == 1e-30
+
+    def test_zero_operands(self):
+        assert two_sum(0.0, 0.0) == (0.0, 0.0)
+        s, e = two_sum(3.5, 0.0)
+        assert (s, e) == (3.5, 0.0)
+
+    def test_commutes_exactly(self, rng):
+        for _ in range(100):
+            a, b = random_double(rng), random_double(rng)
+            assert two_sum(a, b)[0] == two_sum(b, a)[0]
+            assert Fraction(two_sum(a, b)[0]) + Fraction(two_sum(a, b)[1]) == Fraction(
+                two_sum(b, a)[0]
+            ) + Fraction(two_sum(b, a)[1])
+
+
+class TestQuickTwoSum:
+    def test_matches_two_sum_when_ordered(self, rng):
+        for _ in range(300):
+            a, b = random_double(rng), random_double(rng)
+            if abs(a) < abs(b):
+                a, b = b, a
+            s1, e1 = quick_two_sum(a, b)
+            s2, e2 = two_sum(a, b)
+            assert s1 == s2
+            assert e1 == e2
+
+    def test_exact_when_dominant(self):
+        s, e = quick_two_sum(1.0, 2.0**-80)
+        assert Fraction(s) + Fraction(e) == Fraction(1) + Fraction(2.0**-80)
+
+
+class TestTwoDiff:
+    def test_exactness(self, rng):
+        for _ in range(300):
+            a, b = random_double(rng), random_double(rng)
+            s, e = two_diff(a, b)
+            assert Fraction(s) + Fraction(e) == Fraction(a) - Fraction(b)
+
+
+class TestSplit:
+    def test_reconstruction(self, rng):
+        for _ in range(300):
+            a = random_double(rng)
+            hi, lo = split(a)
+            assert hi + lo == a
+            # The halves must multiply exactly in double precision.
+            assert Fraction(hi) + Fraction(lo) == Fraction(a)
+
+    def test_huge_values_do_not_overflow(self):
+        a = 1.0e300
+        hi, lo = split(a)
+        assert math.isfinite(hi) and math.isfinite(lo)
+        assert Fraction(hi) + Fraction(lo) == Fraction(a)
+
+    def test_low_part_fits_in_26_bits(self, rng):
+        for _ in range(100):
+            a = random_double(rng)
+            hi, lo = split(a)
+            # hi holds at most 26 significant bits: hi*hi is exact.
+            assert Fraction(hi) * Fraction(hi) == Fraction(hi * hi)
+
+
+class TestTwoProd:
+    def test_exactness_on_random_inputs(self, rng):
+        for _ in range(500):
+            a, b = random_double(rng), random_double(rng)
+            p, e = two_prod(a, b)
+            assert Fraction(p) + Fraction(e) == Fraction(a) * Fraction(b)
+            assert p == a * b
+
+    def test_squares_match_two_sqr(self, rng):
+        for _ in range(300):
+            a = random_double(rng)
+            p1, e1 = two_prod(a, a)
+            p2, e2 = two_sqr(a)
+            assert p1 == p2
+            assert Fraction(p1) + Fraction(e1) == Fraction(p2) + Fraction(e2)
+
+    def test_zero(self):
+        assert two_prod(0.0, 12.5) == (0.0, 0.0)
+
+
+class TestOperationCounter:
+    def test_counts_accumulate_and_reset(self):
+        counter = OperationCounter()
+        counted_two_sum(1.0, 2.0, counter)
+        assert counter.additions == 3
+        assert counter.subtractions == 3
+        counted_two_prod(1.5, 2.5, counter)
+        assert counter.multiplications == 6
+        assert counter.total == 3 + 3 + 3 + 8 + 6
+        counter.reset()
+        assert counter.total == 0
+
+    def test_snapshot(self):
+        counter = OperationCounter()
+        counter.add(2)
+        counter.sub(3)
+        counter.mul(4)
+        counter.div(5)
+        assert counter.snapshot() == (2, 3, 4, 5)
+
+    def test_counted_results_match_plain(self):
+        counter = OperationCounter()
+        assert counted_two_sum(0.1, 0.2, counter) == two_sum(0.1, 0.2)
+        assert counted_two_prod(0.1, 0.2, counter) == two_prod(0.1, 0.2)

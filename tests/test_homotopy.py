@@ -1,0 +1,221 @@
+"""Tests for series linear algebra, Newton on power series and path tracking."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits import parse_polynomial
+from repro.errors import ConvergenceError, SingularSystemError
+from repro.homotopy import (
+    PolynomialSystem,
+    TaylorPathTracker,
+    lu_solve,
+    matrix_vector_product,
+    newton_power_series,
+    residual_norm,
+)
+from repro.series import PowerSeries, random_fraction_series
+
+
+def fseries(values):
+    return PowerSeries([Fraction(v) for v in values])
+
+
+class TestLinearSolve:
+    def test_identity_system(self, rng):
+        b = [random_fraction_series(3, rng) for _ in range(2)]
+        identity = [
+            [PowerSeries.one(3, Fraction(1)), PowerSeries.zero(3, Fraction(1))],
+            [PowerSeries.zero(3, Fraction(1)), PowerSeries.one(3, Fraction(1))],
+        ]
+        x = lu_solve(identity, b)
+        assert x[0] == b[0] and x[1] == b[1]
+
+    def test_random_system_roundtrip(self, rng):
+        n, degree = 3, 4
+        matrix = [[random_fraction_series(degree, rng) for _ in range(n)] for _ in range(n)]
+        for i in range(n):
+            if matrix[i][i].coefficients[0] == 0:
+                matrix[i][i].coefficients[0] = Fraction(2)
+        solution = [random_fraction_series(degree, rng) for _ in range(n)]
+        rhs = matrix_vector_product(matrix, solution)
+        recovered = lu_solve(matrix, rhs)
+        for got, expected in zip(recovered, solution):
+            assert got == expected
+
+    def test_pivoting_handles_zero_leading_entry(self, rng):
+        degree = 2
+        matrix = [
+            [PowerSeries.zero(degree, Fraction(1)), PowerSeries.one(degree, Fraction(1))],
+            [PowerSeries.one(degree, Fraction(1)), PowerSeries.zero(degree, Fraction(1))],
+        ]
+        rhs = [fseries([1, 2, 3]), fseries([4, 5, 6])]
+        x = lu_solve(matrix, rhs)
+        assert x[0] == rhs[1]
+        assert x[1] == rhs[0]
+
+    def test_singular_matrix_raises(self):
+        degree = 1
+        zero = PowerSeries.zero(degree, Fraction(1))
+        with pytest.raises(SingularSystemError):
+            lu_solve([[zero, zero], [zero, zero]], [zero, zero])
+
+    def test_non_square_rejected(self):
+        zero = PowerSeries.zero(1, Fraction(1))
+        with pytest.raises(SingularSystemError):
+            lu_solve([[zero, zero]], [zero])
+
+    def test_residual_norm(self):
+        assert residual_norm([fseries([0, 0]), fseries([0, 0])]) == 0.0
+        assert residual_norm([fseries([0, 3]), fseries([1, 0])]) == 3.0
+
+
+class TestPolynomialSystem:
+    def test_dimension_checks(self):
+        p = parse_polynomial("x1*x2", degree=2)
+        q = parse_polynomial("x1", dimension=1, degree=2)
+        with pytest.raises(Exception):
+            PolynomialSystem([p, q])
+        with pytest.raises(Exception):
+            PolynomialSystem([])
+
+    def test_evaluate_and_jacobian(self, rng):
+        degree = 3
+        p = parse_polynomial("x1*x2 + 1", degree=degree, kind="fraction")
+        q = parse_polynomial("x1 - x2", degree=degree, kind="fraction")
+        system = PolynomialSystem([p, q])
+        assert system.is_square
+        z = [random_fraction_series(degree, rng) for _ in range(2)]
+        results = system.evaluate(z)
+        jacobian = system.jacobian(results)
+        assert jacobian[0][0] == z[1]
+        assert jacobian[0][1] == z[0]
+        assert results[1].value == z[0] - z[1]
+        assert system.residual(z)[0] == z[0] * z[1] + 1
+
+
+class TestNewton:
+    def _sqrt_system(self, degree, shift=1.0):
+        """x^2 - (shift + t) = 0, solution sqrt(shift + t)."""
+        p = parse_polynomial("x1^2", degree=degree, kind="float")
+        p.constant.coefficients[0] = -shift
+        if degree >= 1:
+            p.constant.coefficients[1] = -1.0
+        return PolynomialSystem([p])
+
+    def test_recovers_sqrt_series(self):
+        degree = 10
+        system = self._sqrt_system(degree)
+        result = newton_power_series(
+            system, [PowerSeries.constant(1.0, degree)], max_iterations=6, tolerance=1e-14
+        )
+        assert result.converged
+        coefficients = result.solution[0].coefficients
+        # Taylor coefficients of sqrt(1 + t): C(1/2, k)
+        expected = [1.0, 0.5, -0.125, 0.0625, -0.0390625]
+        for got, exact in zip(coefficients[:5], expected):
+            assert got == pytest.approx(exact, abs=1e-12)
+
+    def test_quadratic_growth_of_correct_coefficients(self):
+        """Each Newton step doubles the number of correct series coefficients."""
+        degree = 15
+        system = self._sqrt_system(degree)
+        exact = newton_power_series(
+            system, [PowerSeries.constant(1.0, degree)], max_iterations=8, tolerance=0.0
+        ).solution[0]
+        correct_counts = []
+        for iterations in (1, 2, 3, 4):
+            approx = newton_power_series(
+                system, [PowerSeries.constant(1.0, degree)], max_iterations=iterations, tolerance=-1.0
+            ).solution[0]
+            correct = 0
+            for a, b in zip(approx.coefficients, exact.coefficients):
+                if abs(a - b) < 1e-12:
+                    correct += 1
+                else:
+                    break
+            correct_counts.append(correct)
+        assert correct_counts[0] >= 2
+        assert correct_counts[1] >= 3
+        assert correct_counts[2] >= 7
+        assert correct_counts[3] >= 15
+        assert correct_counts == sorted(correct_counts)
+
+    def test_two_by_two_system(self):
+        """x1 + x2 = 3 + t, x1 * x2 = 2 + t  =>  the branches 2 + t and 1."""
+        degree = 6
+        p = parse_polynomial("x1 + x2", degree=degree, kind="float")
+        p.constant.coefficients[0] = -3.0
+        p.constant.coefficients[1] = -1.0
+        q = parse_polynomial("x1*x2", degree=degree, kind="float")
+        q.constant.coefficients[0] = -2.0
+        q.constant.coefficients[1] = -1.0
+        system = PolynomialSystem([p, q])
+        start = [PowerSeries.constant(2.1, degree), PowerSeries.constant(0.9, degree)]
+        result = newton_power_series(system, start, max_iterations=12, tolerance=1e-12)
+        assert result.converged
+        total = result.solution[0] + result.solution[1]
+        product = result.solution[0] * result.solution[1]
+        assert total.coefficients[0] == pytest.approx(3.0, abs=1e-10)
+        assert total.coefficients[1] == pytest.approx(1.0, abs=1e-10)
+        assert product.coefficients[0] == pytest.approx(2.0, abs=1e-10)
+        assert product.coefficients[1] == pytest.approx(1.0, abs=1e-10)
+
+    def test_non_square_rejected(self):
+        p = parse_polynomial("x1*x2", degree=2, kind="float")
+        with pytest.raises(ConvergenceError):
+            newton_power_series(PolynomialSystem([p]), [PowerSeries.constant(1.0, 2)] * 2)
+
+    def test_raise_on_failure(self):
+        degree = 4
+        system = self._sqrt_system(degree)
+        with pytest.raises(ConvergenceError):
+            newton_power_series(
+                system,
+                [PowerSeries.constant(1.0, degree)],
+                max_iterations=1,
+                tolerance=1e-30,
+                raise_on_failure=True,
+            )
+
+    def test_step_diagnostics_recorded(self):
+        degree = 6
+        system = self._sqrt_system(degree)
+        result = newton_power_series(system, [PowerSeries.constant(1.0, degree)], max_iterations=4)
+        assert result.iterations >= 1
+        assert result.steps[0].residual >= result.final_residual
+
+
+class TestPathTracker:
+    @staticmethod
+    def _builder(t0: float, degree: int) -> PolynomialSystem:
+        p = parse_polynomial("x1^2", degree=degree, kind="float")
+        p.constant.coefficients[0] = -(1.0 + t0)
+        if degree >= 1:
+            p.constant.coefficients[1] = -1.0
+        return PolynomialSystem([p])
+
+    def test_tracks_sqrt_path(self):
+        tracker = TaylorPathTracker(self._builder, degree=6, step=0.25)
+        result = tracker.track([1.0], 0.0, 1.0)
+        assert result.success
+        assert result.final_values[0] == pytest.approx(math.sqrt(2.0), abs=1e-9)
+        assert len(result.points) == 5  # t = 0, .25, .5, .75, 1.0
+        for point in result.points:
+            assert point.values[0] == pytest.approx(math.sqrt(1.0 + point.t), abs=1e-8)
+            assert point.residual <= 1e-10
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TaylorPathTracker(self._builder, degree=0)
+        with pytest.raises(ValueError):
+            TaylorPathTracker(self._builder, step=0.0)
+
+    def test_partial_range(self):
+        tracker = TaylorPathTracker(self._builder, degree=5, step=0.5)
+        result = tracker.track([1.0], 0.0, 0.5)
+        assert result.success
+        assert result.final_values[0] == pytest.approx(math.sqrt(1.5), abs=1e-9)

@@ -1,0 +1,175 @@
+"""Tests for the data layout (Section 5) and the convolution staging (Section 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.layout import DataLayout
+from repro.core.staging import stage_convolutions
+from repro.errors import StagingError
+
+#: The example polynomial of Section 4/5 and Figure 1:
+#: p = a0 + a1 x1x3x6 + a2 x1x2x5x6 + a3 x2x3x4  (0-based supports below).
+EXAMPLE_SUPPORTS = [(0, 2, 5), (0, 1, 4, 5), (1, 2, 3)]
+
+
+class TestDataLayout:
+    def test_total_slot_count_formula_7(self):
+        layout = DataLayout(6, EXAMPLE_SUPPORTS, degree=3)
+        # 1 + N + n + sum(nk + max(1, nk-2) + max(0, nk-2))
+        expected_slots = 1 + 3 + 6 + (3 + 1 + 1) + (4 + 2 + 2) + (3 + 1 + 1)
+        assert layout.total_slots == expected_slots
+        assert layout.total_doubles == expected_slots * 4
+
+    def test_figure1_slot_order(self):
+        layout = DataLayout(6, EXAMPLE_SUPPORTS, degree=5)
+        assert layout.constant_slot() == 0
+        assert layout.coefficient_slot(0) == 1
+        assert layout.coefficient_slot(2) == 3
+        assert layout.variable_slot(0) == 4
+        assert layout.variable_slot(5) == 9
+        assert layout.forward_base == 10
+        assert layout.forward_slot(0, 1) == 10
+        assert layout.forward_slot(0, 3) == 12
+        assert layout.forward_slot(1, 1) == 13
+        assert layout.forward_slot(2, 3) == 19
+        assert layout.backward_slot(0, 1) == 20
+        assert layout.backward_slot(1, 2) == 22
+        assert layout.backward_slot(2, 1) == 23
+        assert layout.cross_slot(0, 1) == 24
+        assert layout.cross_slot(1, 2) == 26
+        assert layout.cross_slot(2, 1) == 27
+
+    def test_paper_triplet_for_first_convolution(self):
+        """Section 5: the triplet for f_{1,1} = a1 * z1 is (d+1, 4d+4, 10d+10)."""
+        for degree in (3, 152):
+            layout = DataLayout(6, EXAMPLE_SUPPORTS, degree=degree)
+            stage = stage_convolutions(layout)
+            first = [j for j in stage.jobs if j.monomial == 0 and j.kind == "forward" and j.layer == 1][0]
+            assert first.offsets(degree) == (degree + 1, 4 * (degree + 1), 10 * (degree + 1))
+
+    def test_writable_region(self):
+        layout = DataLayout(6, EXAMPLE_SUPPORTS, degree=2)
+        assert not layout.is_writable(layout.constant_slot())
+        assert not layout.is_writable(layout.variable_slot(5))
+        assert layout.is_writable(layout.forward_slot(0, 1))
+        assert list(layout.product_region()) == list(range(10, layout.total_slots))
+
+    def test_slot_offsets_and_bounds(self):
+        layout = DataLayout(6, EXAMPLE_SUPPORTS, degree=3)
+        assert layout.slot_offset(0) == 0
+        assert layout.slot_offset(10) == 40
+        with pytest.raises(StagingError):
+            layout.slot_offset(layout.total_slots)
+        with pytest.raises(StagingError):
+            layout.variable_slot(6)
+        with pytest.raises(StagingError):
+            layout.coefficient_slot(3)
+        with pytest.raises(StagingError):
+            layout.forward_slot(0, 4)
+        with pytest.raises(StagingError):
+            layout.backward_slot(0, 2)
+        with pytest.raises(StagingError):
+            layout.cross_slot(0, 2)
+
+    def test_invalid_supports_rejected(self):
+        with pytest.raises(StagingError):
+            DataLayout(3, [(2, 1)], 2)  # not increasing
+        with pytest.raises(StagingError):
+            DataLayout(3, [(0, 0)], 2)  # repeated variable
+        with pytest.raises(StagingError):
+            DataLayout(3, [(0, 5)], 2)  # out of range
+        with pytest.raises(StagingError):
+            DataLayout(3, [()], 2)  # empty support
+
+    def test_describe(self):
+        layout = DataLayout(6, EXAMPLE_SUPPORTS, degree=3)
+        info = layout.describe()
+        assert info["slots"] == layout.total_slots
+        assert info["coefficients_per_series"] == 4
+
+
+class TestConvolutionStaging:
+    @pytest.mark.parametrize("nk,expected_jobs", [(1, 1), (2, 3), (3, 6), (4, 9), (5, 12), (6, 15)])
+    def test_job_counts_per_monomial(self, nk, expected_jobs):
+        layout = DataLayout(nk, [tuple(range(nk))], degree=1)
+        stage = stage_convolutions(layout)
+        assert stage.job_count == expected_jobs
+
+    @pytest.mark.parametrize("nk", [3, 4, 5, 6, 8])
+    def test_number_of_layers_equals_nk(self, nk):
+        """Corollary 3.2: a monomial in nk variables takes nk steps."""
+        layout = DataLayout(nk, [tuple(range(nk))], degree=1)
+        stage = stage_convolutions(layout)
+        assert stage.n_layers == nk
+
+    def test_example_2_layer_structure_for_five_variables(self):
+        """Five variables: 12 jobs in 5 steps, as in schedule (2) of the paper.
+
+        The paper's example arranges the jobs as 2/2/3/3/2 per step; our
+        staging schedules every cross product at its earliest layer
+        (Proposition 3.1), giving 2/2/4/3/1 — same jobs, same five steps.
+        """
+        layout = DataLayout(5, [tuple(range(5))], degree=1)
+        stage = stage_convolutions(layout)
+        sizes = stage.layer_sizes()
+        assert sum(sizes) == 12
+        assert len(sizes) == 5
+        assert sizes == [2, 2, 4, 3, 1]
+
+    def test_p1_like_monomial_layers(self):
+        layout = DataLayout(4, [(0, 1, 2, 3)], degree=1)
+        stage = stage_convolutions(layout)
+        assert stage.layer_sizes() == [2, 3, 3, 1]
+
+    def test_two_variable_monomial(self):
+        layout = DataLayout(2, [(0, 1)], degree=1)
+        stage = stage_convolutions(layout)
+        assert stage.layer_sizes() == [2, 1]
+        kinds = sorted(job.kind for job in stage.jobs)
+        assert kinds == ["backward", "forward", "forward"]
+        products = stage.products[0]
+        assert products.value_slot == layout.forward_slot(0, 2)
+        assert products.derivative_slots[1] == layout.forward_slot(0, 1)
+        assert products.derivative_slots[0] == layout.backward_slot(0, 1)
+
+    def test_single_variable_monomial(self):
+        layout = DataLayout(1, [(0,)], degree=1)
+        stage = stage_convolutions(layout)
+        assert stage.job_count == 1
+        products = stage.products[0]
+        assert products.value_slot == layout.forward_slot(0, 1)
+        assert products.derivative_slots[0] == layout.coefficient_slot(0)
+
+    def test_backward_times_coefficient_is_in_place(self):
+        layout = DataLayout(4, [(0, 1, 2, 3)], degree=1)
+        stage = stage_convolutions(layout)
+        in_place = [j for j in stage.jobs if j.kind == "backward*coefficient"]
+        assert len(in_place) == 1
+        assert in_place[0].output == in_place[0].input1
+        assert in_place[0].input2 == layout.coefficient_slot(0)
+        assert in_place[0].layer == 3
+
+    def test_jobs_read_only_already_computed_slots(self):
+        """Within every layer, inputs must come from earlier layers or the inputs."""
+        layout = DataLayout(6, EXAMPLE_SUPPORTS, degree=1)
+        stage = stage_convolutions(layout)
+        computed = set(range(layout.forward_base))  # inputs
+        for layer in stage.layers():
+            outputs = set()
+            for job in layer:
+                for read in job.reads():
+                    assert read in computed or read == job.output  # in-place update
+                outputs.add(job.output)
+            computed |= outputs
+
+    def test_every_product_slot_is_written_exactly_once_except_in_place(self):
+        layout = DataLayout(6, EXAMPLE_SUPPORTS, degree=1)
+        stage = stage_convolutions(layout)
+        writes: dict[int, int] = {}
+        for job in stage.jobs:
+            writes[job.output] = writes.get(job.output, 0) + 1
+        # only the backward*coefficient job writes a slot twice
+        double_written = [slot for slot, count in writes.items() if count > 1]
+        in_place_targets = {j.output for j in stage.jobs if j.kind == "backward*coefficient"}
+        assert set(double_written) <= in_place_targets

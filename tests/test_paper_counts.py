@@ -1,0 +1,110 @@
+"""Reproduction of the exact job and launch counts published in the paper.
+
+These tests pin the staging algorithm to the numbers of Section 6.1:
+Table 2 (job counts for p1, p2, p3) and the launch sizes spelled out in the
+text (4 convolution launches of 3,640/5,460/5,460/1,820 blocks and 11
+addition launches for p1; 256-block layers for p2).  They are the strongest
+evidence that the data staging matches the paper's implementation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import launch_structure
+from repro.analysis.paperdata import TABLE2_JOBS
+from repro.circuits.testpolys import p1_structure, p2_structure, p3_structure
+
+
+class TestStructures:
+    def test_p1_structure(self):
+        n, supports = p1_structure()
+        assert n == 16
+        assert len(supports) == 1820
+        assert all(len(s) == 4 for s in supports)
+        assert len(set(supports)) == 1820
+
+    def test_p2_structure(self):
+        n, supports = p2_structure()
+        assert n == 128
+        assert len(supports) == 128
+        assert all(len(s) == 64 for s in supports)
+        counts = {v: 0 for v in range(128)}
+        for support in supports:
+            for v in support:
+                counts[v] += 1
+        assert all(c == 64 for c in counts.values())
+
+    def test_p3_structure(self):
+        n, supports = p3_structure()
+        assert n == 128
+        assert len(supports) == 8128
+        assert all(len(s) == 2 for s in supports)
+
+
+class TestTable2:
+    def test_p1_job_counts(self):
+        structure = launch_structure("p1")
+        n, m, N, cnv, add = TABLE2_JOBS["p1"]
+        assert (structure.dimension, structure.max_variables, structure.n_monomials) == (n, m, N)
+        assert structure.convolution_jobs == cnv == 16380
+        assert structure.addition_jobs == add == 9084
+
+    def test_p2_job_counts(self):
+        structure = launch_structure("p2")
+        n, m, N, cnv, add = TABLE2_JOBS["p2"]
+        assert (structure.dimension, structure.max_variables, structure.n_monomials) == (n, m, N)
+        assert structure.convolution_jobs == cnv == 24192
+        assert structure.addition_jobs == add == 8192
+
+    def test_p3_job_counts(self):
+        structure = launch_structure("p3")
+        n, m, N, cnv, add = TABLE2_JOBS["p3"]
+        assert (structure.dimension, structure.max_variables, structure.n_monomials) == (n, m, N)
+        assert structure.addition_jobs == add == 24256
+        # Known discrepancy (documented in DESIGN.md): the formula N*(3m-3)
+        # gives 24,384 convolutions while the paper reports 24,256.
+        assert structure.convolution_jobs == 24384
+        assert structure.convolution_jobs - cnv == 128
+
+
+class TestLaunchSizes:
+    def test_p1_convolution_launches(self):
+        """Section 6.1: four launches of 3,640, 5,460, 5,460 and 1,820 blocks."""
+        structure = launch_structure("p1")
+        assert structure.convolution_launches == (3640, 5460, 5460, 1820)
+
+    def test_p1_addition_launches(self):
+        """Section 6.1: eleven launches of 4,542 ... 1 blocks."""
+        structure = launch_structure("p1")
+        assert structure.addition_launches == (4542, 2279, 1140, 562, 281, 140, 78, 39, 20, 2, 1)
+
+    def test_p2_first_31_convolution_layers_have_256_blocks(self):
+        """Section 6.2: 'the number of convolution jobs in the first 31 layers equals 256'."""
+        structure = launch_structure("p2")
+        assert len(structure.convolution_launches) == 64
+        assert all(blocks == 256 for blocks in structure.convolution_launches[:31])
+        assert sum(structure.convolution_launches) == 24192
+
+    def test_p2_addition_launches_sum(self):
+        structure = launch_structure("p2")
+        assert sum(structure.addition_launches) == 8192
+        # The paper's text mentions 7 launches; the pairing tree that exactly
+        # reproduces the p1 launch sizes needs 8 (documented in DESIGN.md).
+        assert len(structure.addition_launches) in (7, 8)
+
+    def test_p3_launch_structure(self):
+        structure = launch_structure("p3")
+        assert structure.convolution_launches == (16256, 8128)
+        assert sum(structure.addition_launches) == 24256
+        assert len(structure.addition_launches) in (12, 13)
+
+    def test_launch_sizes_independent_of_degree(self):
+        from repro.core import build_schedule
+
+        n, supports = p1_structure()
+        subset = supports[:50]
+        low = build_schedule(n, subset, degree=0)
+        high = build_schedule(n, subset, degree=31)
+        assert low.convolution_launches == high.convolution_launches
+        assert low.addition_launches == high.addition_launches

@@ -1,0 +1,70 @@
+"""Tests for the host-side parallel executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.testpolys import random_polynomial
+from repro.core import PolynomialEvaluator, schedule_for_polynomial
+from repro.parallel import LayerParallelExecutor, chunk_evenly
+from repro.series import random_fraction_series
+
+
+class TestChunkEvenly:
+    def test_even_split(self):
+        assert chunk_evenly([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_uneven_split(self):
+        assert chunk_evenly([1, 2, 3, 4, 5], 2) == [[1, 2, 3], [4, 5]]
+        assert chunk_evenly([1, 2, 3, 4, 5], 3) == [[1, 2], [3, 4], [5]]
+
+    def test_more_parts_than_items(self):
+        assert chunk_evenly([1, 2], 5) == [[1], [2]]
+
+    def test_empty_and_invalid(self):
+        assert chunk_evenly([], 3) == []
+        with pytest.raises(ValueError):
+            chunk_evenly([1], 0)
+
+    def test_preserves_order_and_content(self, rng):
+        items = [rng.random() for _ in range(37)]
+        chunks = chunk_evenly(items, 5)
+        assert [x for chunk in chunks for x in chunk] == items
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestLayerParallelExecutor:
+    def test_default_worker_count_positive(self):
+        assert LayerParallelExecutor().workers >= 1
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            LayerParallelExecutor(workers=0)
+
+    @pytest.mark.parametrize("workers", (1, 2, 4))
+    def test_matches_sequential_execution(self, workers, rng):
+        p = random_polynomial(6, 10, 3, degree=3, kind="fraction", rng=rng)
+        z = [random_fraction_series(3, rng) for _ in range(6)]
+        sequential = PolynomialEvaluator(p, mode="staged").evaluate(z)
+        parallel = PolynomialEvaluator(p, mode="parallel", workers=workers).evaluate(z)
+        assert sequential.max_difference(parallel) == 0.0
+
+    def test_run_schedule_direct(self, rng):
+        p = random_polynomial(4, 5, 2, degree=2, kind="fraction", rng=rng, max_exponent=2)
+        z = [random_fraction_series(2, rng) for _ in range(4)]
+        evaluator = PolynomialEvaluator(p, mode="staged")
+        slots = evaluator._prepare_slots(z)
+        executor = LayerParallelExecutor(workers=2)
+        executor.run_schedule(evaluator.schedule, slots)
+        expected = PolynomialEvaluator(p, mode="reference").evaluate(z)
+        assert slots[evaluator.schedule.value_slot] == expected.value
+
+    def test_worker_exceptions_propagate(self):
+        schedule = schedule_for_polynomial(
+            random_polynomial(3, 3, 2, degree=1, kind="float")
+        )
+        executor = LayerParallelExecutor(workers=2)
+        # Slots of the wrong length make the convolution jobs fail inside the pool.
+        with pytest.raises(Exception):
+            executor.run_schedule(schedule, [None] * schedule.layout.total_slots)

@@ -1,0 +1,75 @@
+"""Unit tests for the precision registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PrecisionError
+from repro.md.precision import PAPER_PRECISIONS, PRECISIONS, Precision, get_precision, limbs_of
+
+
+class TestRegistry:
+    def test_paper_precisions_present(self):
+        assert PAPER_PRECISIONS == (1, 2, 3, 4, 5, 8, 10)
+        for limbs in PAPER_PRECISIONS:
+            assert limbs in PRECISIONS
+
+    def test_names(self):
+        assert PRECISIONS[2].name == "double double"
+        assert PRECISIONS[4].name == "quad double"
+        assert PRECISIONS[10].name == "deca double"
+        assert PRECISIONS[10].short_name == "10d"
+
+    @pytest.mark.parametrize("spec,limbs", [
+        (1, 1), ("2d", 2), ("triple double", 3), ("quad_double", 4),
+        ("5d", 5), ("octo double", 8), ("deca double", 10), ("10d", 10),
+    ])
+    def test_lookup(self, spec, limbs):
+        assert get_precision(spec).limbs == limbs
+
+    def test_lookup_precision_instance_is_identity(self):
+        p = PRECISIONS[4]
+        assert get_precision(p) is p
+
+    def test_generic_limb_counts_are_allowed(self):
+        p = get_precision(6)
+        assert p.limbs == 6
+        assert p.short_name == "6d"
+        assert get_precision("7d").limbs == 7
+
+    def test_invalid_lookups(self):
+        with pytest.raises(PrecisionError):
+            get_precision(0)
+        with pytest.raises(PrecisionError):
+            get_precision("not a precision")
+        with pytest.raises(PrecisionError):
+            get_precision(3.5)
+
+    def test_limbs_of(self):
+        assert limbs_of("4d") == 4
+        assert limbs_of(8) == 8
+
+
+class TestDerivedQuantities:
+    def test_epsilon_decreases_with_limbs(self):
+        assert PRECISIONS[1].epsilon > PRECISIONS[2].epsilon > PRECISIONS[4].epsilon
+
+    def test_log2_epsilon(self):
+        assert PRECISIONS[1].log2_epsilon == -53
+        assert PRECISIONS[2].log2_epsilon == -105
+        assert PRECISIONS[10].log2_epsilon == -521
+
+    def test_decimal_digits_scale(self):
+        assert PRECISIONS[1].decimal_digits >= 15
+        assert PRECISIONS[2].decimal_digits >= 31
+        assert PRECISIONS[10].decimal_digits >= 150
+
+    def test_bytes_per_number(self):
+        assert PRECISIONS[1].bytes_per_number == 8
+        assert PRECISIONS[10].bytes_per_number == 80
+
+    def test_precision_is_hashable_and_frozen(self):
+        p = Precision(3, "3d", "triple double")
+        assert hash(p) == hash(Precision(3, "3d", "triple double"))
+        with pytest.raises(AttributeError):
+            p.limbs = 4

@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Polynomial, evaluate_reference
+from repro.circuits.testpolys import make_polynomial_from_structure
+from repro.core import PolynomialEvaluator, build_schedule
+from repro.md import MultiDouble
+from repro.md.renorm import renormalize
+from repro.series import PowerSeries
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# --------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------- #
+finite_doubles = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+small_fractions = st.fractions(
+    min_value=-100, max_value=100, max_denominator=97
+)
+
+
+@st.composite
+def multidoubles(draw, limbs=4):
+    """Random multiple doubles with structure in several limbs."""
+    lead = draw(finite_doubles)
+    tail = [draw(finite_doubles) * 2.0 ** (-52 * (i + 1)) for i in range(limbs - 1)]
+    return MultiDouble(renormalize([lead] + tail, limbs), limbs)
+
+
+@st.composite
+def fraction_series(draw, degree=4):
+    return PowerSeries([draw(small_fractions) for _ in range(degree + 1)])
+
+
+@st.composite
+def multilinear_polynomials(draw):
+    """A small random multilinear polynomial plus matching input series."""
+    dimension = draw(st.integers(min_value=2, max_value=5))
+    degree = draw(st.integers(min_value=0, max_value=4))
+    n_monomials = draw(st.integers(min_value=1, max_value=6))
+    supports = []
+    for _ in range(n_monomials):
+        size = draw(st.integers(min_value=1, max_value=dimension))
+        support = tuple(sorted(draw(
+            st.lists(st.integers(min_value=0, max_value=dimension - 1),
+                     min_size=size, max_size=size, unique=True)
+        )))
+        supports.append(support)
+    constant = draw(fraction_series(degree))
+    coefficients = [draw(fraction_series(degree)) for _ in supports]
+    polynomial = Polynomial.from_supports(dimension, constant, supports, coefficients)
+    z = [draw(fraction_series(degree)) for _ in range(dimension)]
+    return polynomial, z
+
+
+# --------------------------------------------------------------------- #
+# multiple-double ring axioms
+# --------------------------------------------------------------------- #
+class TestMultiDoubleProperties:
+    @SETTINGS
+    @given(a=multidoubles(), b=multidoubles())
+    def test_addition_commutes(self, a, b):
+        assert (a + b).to_fraction() == (b + a).to_fraction()
+
+    @SETTINGS
+    @given(a=multidoubles(), b=multidoubles())
+    def test_multiplication_commutes(self, a, b):
+        assert (a * b).to_fraction() == (b * a).to_fraction()
+
+    @SETTINGS
+    @given(a=multidoubles())
+    def test_additive_inverse(self, a):
+        assert (a + (-a)).is_zero()
+
+    @SETTINGS
+    @given(a=multidoubles())
+    def test_identities(self, a):
+        assert (a + MultiDouble.zero(4)).to_fraction() == a.to_fraction()
+        assert (a * MultiDouble.one(4)).to_fraction() == a.to_fraction()
+
+    @SETTINGS
+    @given(a=multidoubles(), b=multidoubles(), c=multidoubles())
+    def test_distributivity_within_tolerance(self, a, b, c):
+        lhs = (a * (b + c)).to_fraction()
+        rhs = (a * b + a * c).to_fraction()
+        scale = max(abs(lhs), abs(rhs), Fraction(1))
+        assert abs(lhs - rhs) / scale < Fraction(2) ** (-52 * 4 + 12)
+
+    @SETTINGS
+    @given(a=multidoubles())
+    def test_round_trip_through_fraction(self, a):
+        again = MultiDouble.from_fraction(a.to_fraction(), 4)
+        assert again.to_fraction() == a.to_fraction()
+
+    @SETTINGS
+    @given(terms=st.lists(finite_doubles, min_size=1, max_size=12),
+           limbs=st.integers(min_value=1, max_value=6))
+    def test_renormalize_is_idempotent(self, terms, limbs):
+        once = renormalize(terms, limbs)
+        twice = renormalize(once, limbs)
+        assert sum(map(Fraction, once)) == sum(map(Fraction, twice))
+
+
+# --------------------------------------------------------------------- #
+# power-series ring axioms (exact coefficients)
+# --------------------------------------------------------------------- #
+class TestSeriesProperties:
+    @SETTINGS
+    @given(a=fraction_series(), b=fraction_series())
+    def test_multiplication_commutes(self, a, b):
+        assert a * b == b * a
+
+    @SETTINGS
+    @given(a=fraction_series(), b=fraction_series(), c=fraction_series())
+    def test_multiplication_associates_up_to_truncation(self, a, b, c):
+        assert (a * b) * c == a * (b * c)
+
+    @SETTINGS
+    @given(a=fraction_series(), b=fraction_series(), c=fraction_series())
+    def test_distributivity(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @SETTINGS
+    @given(a=fraction_series())
+    def test_one_is_neutral(self, a):
+        one = PowerSeries.one(a.degree, like=Fraction(1))
+        assert a * one == a
+
+    @SETTINGS
+    @given(a=fraction_series())
+    def test_inverse_when_unit(self, a):
+        if a.coefficients[0] == 0:
+            a.coefficients[0] = Fraction(1)
+        product = a * a.inverse()
+        assert product == PowerSeries.one(a.degree, like=Fraction(1))
+
+    @SETTINGS
+    @given(a=fraction_series(), b=fraction_series())
+    def test_derivative_is_linear(self, a, b):
+        assert (a + b).derivative() == a.derivative() + b.derivative()
+
+
+# --------------------------------------------------------------------- #
+# staging invariants
+# --------------------------------------------------------------------- #
+class TestEvaluatorProperties:
+    @SETTINGS
+    @given(case=multilinear_polynomials())
+    def test_staged_equals_reference(self, case):
+        polynomial, z = case
+        staged = PolynomialEvaluator(polynomial, mode="staged").evaluate(z)
+        reference = evaluate_reference(polynomial, z)
+        assert staged.max_difference(reference) == 0.0
+
+    @SETTINGS
+    @given(case=multilinear_polynomials())
+    def test_job_counts_match_closed_forms(self, case):
+        polynomial, _ = case
+        schedule = PolynomialEvaluator(polynomial, mode="staged").schedule
+        assert schedule.convolution_job_count == polynomial.convolution_job_count()
+        assert schedule.addition_job_count >= polynomial.addition_job_count()
+
+    @SETTINGS
+    @given(case=multilinear_polynomials())
+    def test_layout_invariants(self, case):
+        polynomial, _ = case
+        supports = polynomial.supports()
+        schedule = build_schedule(polynomial.dimension, supports, polynomial.series_degree)
+        layout = schedule.layout
+        # every job stays in bounds and never writes the input region
+        for job in schedule.convolutions.jobs:
+            assert 0 <= job.input1 < layout.total_slots
+            assert 0 <= job.input2 < layout.total_slots
+            assert layout.is_writable(job.output)
+        for job in schedule.additions.jobs:
+            assert layout.is_writable(job.target)
+            assert 0 <= job.source < layout.total_slots
+
+    @SETTINGS
+    @given(case=multilinear_polynomials())
+    def test_convolution_layer_dependencies(self, case):
+        polynomial, _ = case
+        schedule = build_schedule(
+            polynomial.dimension, polynomial.supports(), polynomial.series_degree
+        )
+        written: set[int] = set(range(schedule.layout.forward_base))
+        for layer in schedule.convolutions.layers():
+            this_layer_outputs = set()
+            for job in layer:
+                for slot in job.reads():
+                    assert slot in written or slot == job.output
+                this_layer_outputs.add(job.output)
+            written |= this_layer_outputs

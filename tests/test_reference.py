@@ -1,0 +1,105 @@
+"""Tests for the sequential reference evaluator (exact oracle cases)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits import Monomial, Polynomial, evaluate_reference, evaluate_value_only
+from repro.circuits.reference import EvaluationResult
+from repro.circuits.testpolys import random_polynomial
+from repro.errors import StagingError
+from repro.series import PowerSeries, random_fraction_series
+
+
+def const(value, degree):
+    return PowerSeries.constant(Fraction(value), degree)
+
+
+class TestHandComputedCases:
+    def test_single_bilinear_monomial(self, rng):
+        degree = 4
+        a = random_fraction_series(degree, rng)
+        p = Polynomial(2, const(0, degree), [Monomial.make(a, [0, 1])])
+        z = [random_fraction_series(degree, rng) for _ in range(2)]
+        result = evaluate_reference(p, z)
+        assert result.value == a * z[0] * z[1]
+        assert result.gradient[0] == a * z[1]
+        assert result.gradient[1] == a * z[0]
+
+    def test_constant_only(self, rng):
+        degree = 3
+        c = random_fraction_series(degree, rng)
+        p = Polynomial(2, c, [])
+        z = [random_fraction_series(degree, rng) for _ in range(2)]
+        result = evaluate_reference(p, z)
+        assert result.value == c
+        assert all(g == PowerSeries.zero(degree, like=Fraction(1)) for g in result.gradient)
+
+    def test_power_rule(self, rng):
+        degree = 5
+        a = random_fraction_series(degree, rng)
+        p = Polynomial(1, const(0, degree), [Monomial.make(a, {0: 4})])
+        z = [random_fraction_series(degree, rng)]
+        result = evaluate_reference(p, z)
+        z4 = z[0] * z[0] * z[0] * z[0]
+        assert result.value == a * z4
+        assert result.gradient[0] == (a * z[0] * z[0] * z[0]).scale(Fraction(4))
+
+    def test_example_polynomial_from_section_4(self, rng):
+        """The worked example p = a0 + a1 x1x3x6 + a2 x1x2x5x6 + a3 x2x3x4."""
+        degree = 3
+        a = [random_fraction_series(degree, rng) for _ in range(4)]
+        p = Polynomial(
+            6,
+            a[0],
+            [
+                Monomial.make(a[1], [0, 2, 5]),
+                Monomial.make(a[2], [0, 1, 4, 5]),
+                Monomial.make(a[3], [1, 2, 3]),
+            ],
+        )
+        z = [random_fraction_series(degree, rng) for _ in range(6)]
+        result = evaluate_reference(p, z)
+        assert result.value == a[0] + a[1] * z[0] * z[2] * z[5] + a[2] * z[0] * z[1] * z[4] * z[5] + a[3] * z[1] * z[2] * z[3]
+        # check two derivatives spelled out in equation (6) of the paper
+        assert result.gradient[0] == a[1] * z[2] * z[5] + a[2] * z[1] * z[4] * z[5]
+        assert result.gradient[5] == a[1] * z[0] * z[2] + a[2] * z[0] * z[1] * z[4]
+
+    def test_value_only_matches_full(self, rng):
+        p = random_polynomial(5, 6, 3, degree=3, kind="fraction", rng=rng)
+        z = [random_fraction_series(3, rng) for _ in range(5)]
+        assert evaluate_value_only(p, z) == evaluate_reference(p, z).value
+
+
+class TestInputValidation:
+    def test_wrong_number_of_series(self, rng):
+        p = random_polynomial(3, 2, 2, degree=2, kind="fraction", rng=rng)
+        z = [random_fraction_series(2, rng) for _ in range(2)]
+        with pytest.raises(StagingError):
+            evaluate_reference(p, z)
+
+    def test_wrong_series_degree(self, rng):
+        p = random_polynomial(3, 2, 2, degree=2, kind="fraction", rng=rng)
+        z = [random_fraction_series(4, rng) for _ in range(3)]
+        with pytest.raises(StagingError):
+            evaluate_reference(p, z)
+
+
+class TestEvaluationResult:
+    def test_max_difference(self, rng):
+        degree = 2
+        value = random_fraction_series(degree, rng)
+        gradient = [random_fraction_series(degree, rng)]
+        a = EvaluationResult(value=value, gradient=gradient)
+        b = EvaluationResult(value=value + 1, gradient=[gradient[0]])
+        assert a.max_difference(a) == 0.0
+        assert a.max_difference(b) == 1.0
+        assert a.dimension == 1
+
+    def test_to_float_value(self):
+        result = EvaluationResult(
+            value=PowerSeries([Fraction(1, 2), Fraction(3, 4)]), gradient=[]
+        )
+        assert result.to_float_value() == [Fraction(1, 2), Fraction(3, 4)]

@@ -1,0 +1,98 @@
+"""Unit tests for expansion arithmetic and renormalisation."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.md.renorm import (
+    expansion_from_terms,
+    expansion_value,
+    grow_expansion,
+    renormalize,
+)
+
+
+def exact_sum(terms) -> Fraction:
+    return sum((Fraction(t) for t in terms), Fraction(0))
+
+
+class TestGrowExpansion:
+    def test_single_term(self):
+        assert grow_expansion([], 3.5) == [3.5]
+
+    def test_exactness(self, rng):
+        expansion = []
+        total = Fraction(0)
+        for _ in range(50):
+            t = rng.uniform(-1, 1) * 10.0 ** rng.randint(-20, 20)
+            expansion = grow_expansion(expansion, t)
+            total += Fraction(t)
+            assert exact_sum(expansion) == total
+
+    def test_drops_zero_errors(self):
+        expansion = grow_expansion([1.0], 1.0)
+        assert expansion == [2.0]
+
+
+class TestExpansionFromTerms:
+    def test_exactness_with_cancellation(self):
+        terms = [1.0, 1e-30, -1.0, 1e-45]
+        expansion = expansion_from_terms(terms)
+        assert exact_sum(expansion) == exact_sum(terms)
+
+    def test_empty_and_zero_terms(self):
+        assert expansion_from_terms([]) == []
+        assert expansion_from_terms([0.0, 0.0]) == []
+
+    def test_nonoverlapping_random(self, rng):
+        terms = [rng.uniform(-1, 1) * 10.0 ** rng.randint(-15, 15) for _ in range(30)]
+        expansion = expansion_from_terms(terms)
+        assert exact_sum(expansion) == exact_sum(terms)
+        # Components are ordered by increasing magnitude (weakly).
+        magnitudes = [abs(c) for c in expansion]
+        assert magnitudes == sorted(magnitudes)
+
+
+class TestRenormalize:
+    @pytest.mark.parametrize("limbs", [1, 2, 3, 4, 5, 8, 10])
+    def test_accuracy_at_each_precision(self, limbs, rng):
+        for _ in range(25):
+            terms = [rng.uniform(-1, 1) * 2.0 ** (-52 * i) for i in range(limbs + 3)]
+            result = renormalize(terms, limbs)
+            assert len(result) == limbs
+            exact = exact_sum(terms)
+            approx = exact_sum(result)
+            error = abs(approx - exact)
+            assert error <= Fraction(2) ** (-52 * limbs + 4)
+
+    def test_decreasing_magnitude(self, rng):
+        for _ in range(50):
+            terms = [rng.uniform(-1, 1) for _ in range(6)]
+            result = renormalize(terms, 4)
+            nonzero = [abs(x) for x in result if x != 0.0]
+            assert nonzero == sorted(nonzero, reverse=True)
+
+    def test_padding_with_zeros(self):
+        assert renormalize((1.0,), 4) == (1.0, 0.0, 0.0, 0.0)
+        assert renormalize((), 3) == (0.0, 0.0, 0.0)
+
+    def test_exact_when_representable(self):
+        # 1 + 2^-80 is exactly representable with two limbs.
+        result = renormalize((1.0, 2.0**-80), 2)
+        assert exact_sum(result) == Fraction(1) + Fraction(2) ** -80
+
+    def test_cancellation_is_handled(self):
+        result = renormalize((1.0, -1.0, 2.0**-60), 2)
+        assert exact_sum(result) == Fraction(2) ** -60
+
+    def test_invalid_limbs(self):
+        with pytest.raises(ValueError):
+            renormalize((1.0,), 0)
+
+    def test_expansion_value_close_to_sum(self, rng):
+        terms = [rng.uniform(-1, 1) for _ in range(10)]
+        expansion = expansion_from_terms(terms)
+        assert abs(expansion_value(expansion) - float(exact_sum(terms))) < 1e-12

@@ -1,0 +1,184 @@
+"""Tests for truncated power series over several coefficient rings."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import TruncationError
+from repro.md import MultiDouble
+from repro.series import PowerSeries, random_fraction_series, random_md_series
+
+
+def fraction_series(coefficients):
+    return PowerSeries([Fraction(c) for c in coefficients])
+
+
+class TestConstruction:
+    def test_constant_and_zero_one(self):
+        c = PowerSeries.constant(Fraction(3), 4)
+        assert c.degree == 4
+        assert c.constant_term() == 3
+        assert all(x == 0 for x in c.coefficients[1:])
+        assert PowerSeries.zero(3, like=Fraction(1)).coefficients == [0, 0, 0, 0]
+        assert PowerSeries.one(2, like=Fraction(5)).coefficients == [1, 0, 0]
+
+    def test_variable(self):
+        t = PowerSeries.variable(3, like=Fraction(1))
+        assert t.coefficients == [0, 1, 0, 0]
+
+    def test_from_function(self):
+        s = PowerSeries.from_function(lambda k: Fraction(k * k), 4)
+        assert s.coefficients == [0, 1, 4, 9, 16]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PowerSeries([])
+
+    def test_truncate_and_extend(self):
+        s = fraction_series([1, 2, 3, 4])
+        assert s.truncate(1).coefficients == [1, 2]
+        assert s.truncate(5).coefficients == [1, 2, 3, 4, 0, 0]
+        assert s.truncate(3) == s
+
+
+class TestArithmetic:
+    def test_addition_and_subtraction(self):
+        a = fraction_series([1, 2, 3])
+        b = fraction_series([4, 5, 6])
+        assert (a + b).coefficients == [5, 7, 9]
+        assert (a - b).coefficients == [-3, -3, -3]
+        assert (-a).coefficients == [-1, -2, -3]
+
+    def test_scalar_operations(self):
+        a = fraction_series([1, 2, 3])
+        assert (a + 1).coefficients == [2, 2, 3]
+        assert (1 + a).coefficients == [2, 2, 3]
+        assert (a * 2).coefficients == [2, 4, 6]
+        assert (a / 2).coefficients == [Fraction(1, 2), 1, Fraction(3, 2)]
+        assert (1 - a).coefficients == [0, -2, -3]
+
+    def test_convolution_truncates(self):
+        a = fraction_series([1, 1, 1])
+        b = fraction_series([1, 2, 3])
+        # (1 + t + t^2)(1 + 2t + 3t^2) = 1 + 3t + 6t^2 + ... (truncated)
+        assert (a * b).coefficients == [1, 3, 6]
+
+    def test_convolution_against_polynomial_multiplication(self, rng):
+        a = random_fraction_series(6, rng)
+        b = random_fraction_series(6, rng)
+        product = a * b
+        for k in range(7):
+            expected = sum(
+                (a.coefficients[i] * b.coefficients[k - i] for i in range(k + 1)), Fraction(0)
+            )
+            assert product.coefficients[k] == expected
+
+    def test_mismatched_degrees_rejected(self):
+        with pytest.raises(TruncationError):
+            fraction_series([1, 2]) + fraction_series([1, 2, 3])
+        with pytest.raises(TruncationError):
+            fraction_series([1, 2]).convolve(fraction_series([1, 2, 3]))
+
+    def test_powers(self):
+        t_plus_1 = fraction_series([1, 1, 0, 0])
+        cubed = t_plus_1**3
+        assert cubed.coefficients == [1, 3, 3, 1]
+        assert (t_plus_1**0).coefficients == [1, 0, 0, 0]
+        with pytest.raises(ValueError):
+            t_plus_1**-1
+        with pytest.raises(ValueError):
+            t_plus_1**0.5  # type: ignore[operator]
+
+    def test_scale(self):
+        a = fraction_series([1, 2, 3])
+        assert a.scale(Fraction(3)).coefficients == [3, 6, 9]
+
+
+class TestInverseAndDivision:
+    def test_inverse_of_one_minus_t_is_geometric(self):
+        s = fraction_series([1, -1, 0, 0, 0])
+        assert s.inverse().coefficients == [1, 1, 1, 1, 1]
+
+    def test_inverse_times_self_is_one(self, rng):
+        s = random_fraction_series(8, rng)
+        if s.coefficients[0] == 0:
+            s.coefficients[0] = Fraction(1)
+        product = s * s.inverse()
+        assert product.coefficients[0] == 1
+        assert all(c == 0 for c in product.coefficients[1:])
+
+    def test_division(self, rng):
+        a = random_fraction_series(6, rng)
+        b = random_fraction_series(6, rng)
+        if b.coefficients[0] == 0:
+            b.coefficients[0] = Fraction(2)
+        quotient = a / b
+        assert (quotient * b).coefficients == a.coefficients
+
+    def test_inverse_requires_unit_constant(self):
+        with pytest.raises(ZeroDivisionError):
+            fraction_series([0, 1, 2]).inverse()
+
+
+class TestCalculus:
+    def test_derivative(self):
+        s = fraction_series([5, 4, 3, 2])
+        assert s.derivative().coefficients == [4, 6, 6, 0]
+
+    def test_integral(self):
+        s = fraction_series([1, 2, 3, 4])
+        assert s.integral().coefficients == [0, 1, 1, 1]
+
+    def test_derivative_of_integral_recovers_prefix(self, rng):
+        s = random_fraction_series(5, rng)
+        back = s.integral().derivative()
+        assert back.coefficients[:-1] == s.coefficients[:-1]
+
+
+class TestEvaluationAndComparison:
+    def test_evaluate_horner(self):
+        s = fraction_series([1, 2, 3])
+        assert s.evaluate(Fraction(2)) == 1 + 4 + 12
+
+    def test_equality(self):
+        assert fraction_series([1, 2]) == fraction_series([1, 2])
+        assert fraction_series([1, 2]) != fraction_series([1, 3])
+        assert fraction_series([1, 2]) != fraction_series([1, 2, 0])
+
+    def test_max_abs_error(self):
+        a = fraction_series([1, 2, 3])
+        b = fraction_series([1, 2, 5])
+        assert a.max_abs_error(b) == 2.0
+
+    def test_map(self):
+        s = fraction_series([1, 2])
+        doubled = s.map(lambda c: c * 2)
+        assert doubled.coefficients == [2, 4]
+
+    def test_repr_mentions_ring(self):
+        assert "Fraction" in repr(fraction_series([1]))
+
+
+class TestMultiDoubleCoefficients:
+    def test_md_series_operations(self, rng):
+        a = random_md_series(5, 4, rng)
+        b = random_md_series(5, 4, rng)
+        product = a * b
+        # compare against the exact Fraction computation
+        for k in range(6):
+            expected = sum(
+                (a.coefficients[i].to_fraction() * b.coefficients[k - i].to_fraction() for i in range(k + 1)),
+                Fraction(0),
+            )
+            got = product.coefficients[k].to_fraction()
+            scale = max(abs(expected), Fraction(1, 100))
+            assert abs(got - expected) / scale < Fraction(2) ** (-52 * 4 + 10)
+
+    def test_md_inverse(self, rng):
+        s = random_md_series(6, 3, rng)
+        s.coefficients[0] = MultiDouble.from_float(2.0, 3) + s.coefficients[0] * 0
+        product = s * s.inverse()
+        one = PowerSeries.one(6, like=s.coefficients[0])
+        assert product.max_abs_error(one) < 1e-40
