@@ -15,7 +15,6 @@ Run with::
 from __future__ import annotations
 
 import random
-from fractions import Fraction
 
 from repro import MultiDouble, PolynomialEvaluator
 from repro.analysis.experiments import launch_structure

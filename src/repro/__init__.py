@@ -66,7 +66,17 @@ from .circuits import (
     make_p3,
     random_polynomial,
 )
-from .core import PolynomialEvaluator, JobSchedule, DataLayout, build_schedule, schedule_for_polynomial
+from .core import (
+    PolynomialEvaluator,
+    SystemEvaluator,
+    ScheduleCache,
+    FusedSystemSchedule,
+    default_schedule_cache,
+    JobSchedule,
+    DataLayout,
+    build_schedule,
+    schedule_for_polynomial,
+)
 from .gpusim import DeviceSpec, TABLE1_DEVICES, get_device, GPUSimulator, TimingModel, TimingReport
 
 __all__ = [
@@ -97,6 +107,10 @@ __all__ = [
     "make_p3",
     "random_polynomial",
     "PolynomialEvaluator",
+    "SystemEvaluator",
+    "ScheduleCache",
+    "FusedSystemSchedule",
+    "default_schedule_cache",
     "JobSchedule",
     "DataLayout",
     "build_schedule",

@@ -7,7 +7,7 @@ in any plotting or tabulation dependency.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping
 
 __all__ = ["format_table", "format_grid", "format_comparison"]
 

@@ -102,6 +102,20 @@ class Polynomial:
         """The list of variable-index tuples, one per monomial."""
         return [monomial.support for monomial in self.monomials]
 
+    def structure_key(self) -> tuple:
+        """A hashable key identifying the staging-relevant structure.
+
+        Two polynomials with the same dimension, truncation degree and
+        monomial exponent patterns produce identical job schedules regardless
+        of their coefficient values, so this key is what the schedule caches
+        index on.
+        """
+        return (
+            self.dimension,
+            self.series_degree,
+            tuple(monomial.exponents for monomial in self.monomials),
+        )
+
     def variables_used(self) -> set[int]:
         """The set of variable indices appearing in at least one monomial."""
         used: set[int] = set()

@@ -5,7 +5,15 @@ from .layout import DataLayout
 from .staging import ConvolutionStage, MonomialProducts, stage_convolutions
 from .addition_tree import AdditionStage, stage_additions
 from .schedule import JobSchedule, build_schedule, schedule_for_polynomial
-from .evaluator import PolynomialEvaluator
+from .evaluator import PolynomialEvaluator, prepare_slots, collect_result
+from .system import (
+    FusedSystemSchedule,
+    ScheduleCache,
+    SystemEvaluator,
+    default_schedule_cache,
+    fuse_schedules,
+    system_structure_key,
+)
 
 __all__ = [
     "ConvolutionJob",
@@ -21,4 +29,12 @@ __all__ = [
     "build_schedule",
     "schedule_for_polynomial",
     "PolynomialEvaluator",
+    "prepare_slots",
+    "collect_result",
+    "FusedSystemSchedule",
+    "ScheduleCache",
+    "SystemEvaluator",
+    "default_schedule_cache",
+    "fuse_schedules",
+    "system_structure_key",
 ]

@@ -36,11 +36,64 @@ from ..circuits.powers import PowerTable
 from ..circuits.reference import EvaluationResult, evaluate_reference
 from ..errors import StagingError
 from ..series.series import PowerSeries
+from .jobs import apply_addition, apply_convolution, apply_scale
 from .schedule import JobSchedule, schedule_for_polynomial
 
-__all__ = ["PolynomialEvaluator"]
+__all__ = ["PolynomialEvaluator", "prepare_slots", "collect_result"]
 
 _MODES = ("reference", "staged", "parallel", "gpu")
+
+
+def prepare_slots(
+    polynomial: Polynomial,
+    schedule: JobSchedule,
+    z: Sequence[PowerSeries],
+    table: PowerTable | None = None,
+) -> list[PowerSeries]:
+    """Fill the input region of the data array (adjusted coefficients + z).
+
+    ``table`` lets callers share one :class:`PowerTable` across several
+    polynomials evaluated at the same input vector (the system evaluator
+    does this so common factors are convolved once per input, not once per
+    equation).
+    """
+    layout = schedule.layout
+    degree = layout.degree
+    zero_like = polynomial.constant.coefficients[0] * 0
+    zero_series = PowerSeries.constant(zero_like, degree)
+    slots: list[PowerSeries] = [zero_series.copy() for _ in range(layout.total_slots)]
+    slots[layout.constant_slot()] = polynomial.constant.copy()
+    if table is None:
+        table = PowerTable(z)
+    for k, monomial in enumerate(polynomial.monomials):
+        if monomial.is_multilinear:
+            adjusted = monomial.coefficient
+        else:
+            adjusted, _, _ = monomial.split_common_factor(z, table)
+        slots[layout.coefficient_slot(k)] = adjusted.copy()
+    for variable in range(layout.dimension):
+        slots[layout.variable_slot(variable)] = z[variable].copy()
+    return slots
+
+
+def collect_result(
+    polynomial: Polynomial,
+    schedule: JobSchedule,
+    slots: Sequence[PowerSeries],
+    metadata: dict,
+) -> EvaluationResult:
+    """Read the value and gradient back from the data array."""
+    layout = schedule.layout
+    zero_like = polynomial.constant.coefficients[0] * 0
+    value = slots[schedule.value_slot].copy()
+    gradient: list[PowerSeries] = []
+    for variable in range(layout.dimension):
+        slot = schedule.gradient_slot(variable)
+        if slot is None:
+            gradient.append(PowerSeries.constant(zero_like, layout.degree))
+        else:
+            gradient.append(slots[slot].copy())
+    return EvaluationResult(value=value, gradient=gradient, metadata=metadata)
 
 
 class PolynomialEvaluator:
@@ -105,37 +158,11 @@ class PolynomialEvaluator:
 
     def _prepare_slots(self, z: Sequence[PowerSeries]) -> list[PowerSeries]:
         """Fill the input region of the data array (adjusted coefficients + z)."""
-        layout = self.schedule.layout
-        degree = layout.degree
-        zero_like = self.polynomial.constant.coefficients[0] * 0
-        zero_series = PowerSeries.constant(zero_like, degree)
-        slots: list[PowerSeries] = [zero_series.copy() for _ in range(layout.total_slots)]
-        slots[layout.constant_slot()] = self.polynomial.constant.copy()
-        table = PowerTable(z)
-        for k, monomial in enumerate(self.polynomial.monomials):
-            if monomial.is_multilinear:
-                adjusted = monomial.coefficient
-            else:
-                adjusted, _, _ = monomial.split_common_factor(z, table)
-            slots[layout.coefficient_slot(k)] = adjusted.copy()
-        for variable in range(layout.dimension):
-            slots[layout.variable_slot(variable)] = z[variable].copy()
-        return slots
+        return prepare_slots(self.polynomial, self.schedule, z)
 
     def _collect(self, slots: list[PowerSeries], metadata: dict) -> EvaluationResult:
         """Read the value and gradient back from the data array."""
-        layout = self.schedule.layout
-        degree = layout.degree
-        zero_like = self.polynomial.constant.coefficients[0] * 0
-        value = slots[self.schedule.value_slot].copy()
-        gradient: list[PowerSeries] = []
-        for variable in range(layout.dimension):
-            slot = self.schedule.gradient_slot(variable)
-            if slot is None:
-                gradient.append(PowerSeries.constant(zero_like, degree))
-            else:
-                gradient.append(slots[slot].copy())
-        return EvaluationResult(value=value, gradient=gradient, metadata=metadata)
+        return collect_result(self.polynomial, self.schedule, slots, metadata)
 
     # ------------------------------------------------------------------ #
     # staged / parallel execution on the host
@@ -157,13 +184,12 @@ class PolynomialEvaluator:
 
         for layer in schedule.convolutions.layers():
             for job in layer:
-                slots[job.output] = slots[job.input1].convolve(slots[job.input2])
+                apply_convolution(slots, 0, job)
         for scale in schedule.scale_jobs:
-            factor = slots[scale.slot].coefficients[0] * 0 + scale.factor
-            slots[scale.slot] = slots[scale.slot].scale(factor)
+            apply_scale(slots, 0, scale)
         for layer in schedule.additions.layers():
             for job in layer:
-                slots[job.target] = slots[job.target] + slots[job.source]
+                apply_addition(slots, 0, job)
         metadata = {
             "mode": "staged",
             "convolution_jobs": schedule.convolution_job_count,

@@ -24,7 +24,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["ConvolutionJob", "AdditionJob", "ScaleJob"]
+__all__ = [
+    "ConvolutionJob",
+    "AdditionJob",
+    "ScaleJob",
+    "apply_convolution",
+    "apply_scale",
+    "apply_addition",
+]
 
 
 @dataclass(frozen=True)
@@ -90,6 +97,28 @@ class AdditionJob:
 
     def writes(self) -> int:
         return self.target
+
+
+def apply_convolution(slots, base: int, job: "ConvolutionJob") -> None:
+    """Run one convolution job on a host-side slot array (shifted by ``base``).
+
+    The single definition of what a job *does* to the slot array, shared by
+    the sequential staged evaluators, the thread-pool executor and the
+    batched system sweep, so the semantics cannot drift between modes.
+    """
+    slots[base + job.output] = slots[base + job.input1].convolve(slots[base + job.input2])
+
+
+def apply_scale(slots, base: int, job: "ScaleJob") -> None:
+    """Run one scale job in place (the factor is promoted into the ring)."""
+    series = slots[base + job.slot]
+    factor = series.coefficients[0] * 0 + job.factor
+    slots[base + job.slot] = series.scale(factor)
+
+
+def apply_addition(slots, base: int, job: "AdditionJob") -> None:
+    """Run one addition job: ``slots[target] += slots[source]``."""
+    slots[base + job.target] = slots[base + job.target] + slots[base + job.source]
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,524 @@
+"""Batched evaluation of polynomial *systems* through one fused job schedule.
+
+The paper's throughput story is about launching *many* independent jobs at
+once: per kernel launch, the more blocks the better.  A polynomial system
+evaluated equation by equation wastes that width — every equation pays its
+own launch sequence even though the layers of different equations are
+mutually independent.  This module restores the width on three axes:
+
+* **fusion across equations** — :func:`fuse_schedules` concatenates the slot
+  layouts of all equations into one flat array and merges layer ``L`` of
+  every equation into a single fused layer, so one "launch" carries the jobs
+  of the whole system;
+* **fusion across instances** — :meth:`SystemEvaluator.evaluate_batch` sweeps
+  ``B`` input vectors through the same fused schedule in one pass; the fused
+  data array is replicated per instance (batch stride = ``total_slots``) and
+  each fused layer dispatches the jobs of *all* instances together (the
+  parallel mode hands them to the worker pool as one wide launch, the GPU
+  simulator accounts them as one launch of ``B``-times-as-many blocks);
+* **amortised staging** — fused schedules are memoised in an LRU
+  :class:`ScheduleCache` keyed on :meth:`repro.circuits.Polynomial.structure_key`,
+  so the repeated system constructions of Newton/path-tracking clients pay
+  the staging cost once per *structure*, not once per step.
+
+All modes return one :class:`repro.circuits.EvaluationResult` per equation
+(per instance); the test suite checks that every mode and every coefficient
+ring agrees with the scalar per-polynomial loop to working precision.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from ..circuits.polynomial import Polynomial
+from ..circuits.powers import PowerTable
+from ..circuits.reference import EvaluationResult, evaluate_reference
+from ..errors import StagingError
+from ..series.series import PowerSeries
+from .evaluator import collect_result, prepare_slots
+from .jobs import (
+    AdditionJob,
+    ConvolutionJob,
+    ScaleJob,
+    apply_addition,
+    apply_convolution,
+    apply_scale,
+)
+from .schedule import JobSchedule, schedule_for_polynomial
+
+__all__ = [
+    "ScheduleCache",
+    "FusedSystemSchedule",
+    "SystemEvaluator",
+    "fuse_schedules",
+    "system_structure_key",
+    "default_schedule_cache",
+]
+
+_MODES = ("reference", "staged", "parallel", "gpu")
+
+
+# --------------------------------------------------------------------- #
+# schedule cache
+# --------------------------------------------------------------------- #
+class ScheduleCache:
+    """An LRU cache for staged (fused) schedules with hit/miss accounting.
+
+    Schedules depend only on polynomial *structure*, so the cache key is the
+    tuple of :meth:`repro.circuits.Polynomial.structure_key` values of the
+    system's equations.  The cache is safe to share between evaluators; a
+    module-level default instance (:func:`default_schedule_cache`) is what
+    makes repeated Newton steps — which rebuild structurally identical
+    systems at every parameter value — pay the staging cost exactly once.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+
+    def get(self, key: tuple, builder: Callable[[], object]):
+        """Return the cached value for ``key``, building (and storing) on miss."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        entry = builder()
+        self._entries[key] = entry
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return entry
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        """Hit/miss accounting (``hit_rate`` is 0.0 before the first lookup)."""
+        lookups = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return f"ScheduleCache(entries={len(self._entries)}, hits={self.hits}, misses={self.misses})"
+
+
+_DEFAULT_CACHE = ScheduleCache(maxsize=128)
+
+
+def default_schedule_cache() -> ScheduleCache:
+    """The process-wide schedule cache used when no explicit cache is given."""
+    return _DEFAULT_CACHE
+
+
+def system_structure_key(polynomials: Sequence[Polynomial]) -> tuple:
+    """The cache key of a system: the structure keys of all its equations."""
+    return tuple(polynomial.structure_key() for polynomial in polynomials)
+
+
+# --------------------------------------------------------------------- #
+# fused schedules
+# --------------------------------------------------------------------- #
+@dataclass
+class FusedSystemSchedule:
+    """One job schedule for a whole system, fused layer by layer.
+
+    Every equation keeps its own :class:`repro.core.JobSchedule`; fusion
+    shifts each equation's slots by a per-equation offset into one flat
+    array of ``total_slots`` slots and merges the per-equation layers, so
+    launch ``L`` of the fused schedule carries the layer-``L`` jobs of every
+    equation (they write disjoint slot ranges, hence stay independent).
+    """
+
+    schedules: list[JobSchedule]
+    offsets: tuple[int, ...]
+    total_slots: int
+    degree: int
+    dimension: int
+    convolution_layers: list[list[ConvolutionJob]] = field(default_factory=list)
+    scale_jobs: list[ScaleJob] = field(default_factory=list)
+    addition_layers: list[list[AdditionJob]] = field(default_factory=list)
+    #: Global slot of ``p_e(z)`` per equation.
+    value_slots: tuple[int, ...] = ()
+    #: Per equation: variable index -> global slot of the partial derivative.
+    gradient_slots: tuple[dict[int, int], ...] = ()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_equations(self) -> int:
+        return len(self.schedules)
+
+    @property
+    def convolution_job_count(self) -> int:
+        return sum(len(layer) for layer in self.convolution_layers)
+
+    @property
+    def addition_job_count(self) -> int:
+        return sum(len(layer) for layer in self.addition_layers)
+
+    @property
+    def convolution_launches(self) -> list[int]:
+        """Blocks per fused convolution launch (one entry per fused layer)."""
+        return [len(layer) for layer in self.convolution_layers]
+
+    @property
+    def addition_launches(self) -> list[int]:
+        """Blocks per fused addition launch (one entry per fused level)."""
+        return [len(layer) for layer in self.addition_layers]
+
+    @property
+    def total_launches(self) -> int:
+        """Fused launches: far fewer than the per-equation schedules summed."""
+        scale_launches = 1 if self.scale_jobs else 0
+        return len(self.convolution_layers) + scale_launches + len(self.addition_layers)
+
+    def input_slots(self) -> Iterator[int]:
+        """Global indices of every equation's input region (read-only slots)."""
+        for offset, schedule in zip(self.offsets, self.schedules):
+            for slot in range(schedule.layout.forward_base):
+                yield offset + slot
+
+    def summary(self) -> dict:
+        """Headline statistics of the fused schedule."""
+        return {
+            "equations": self.n_equations,
+            "degree": self.degree,
+            "slots": self.total_slots,
+            "convolution_jobs": self.convolution_job_count,
+            "addition_jobs": self.addition_job_count,
+            "scale_jobs": len(self.scale_jobs),
+            "convolution_launches": self.convolution_launches,
+            "addition_launches": self.addition_launches,
+            "fused_launches": self.total_launches,
+            "unfused_launches": sum(s.total_launches for s in self.schedules),
+        }
+
+
+def fuse_schedules(schedules: Sequence[JobSchedule]) -> FusedSystemSchedule:
+    """Fuse per-equation schedules into one system-wide schedule."""
+    schedules = list(schedules)
+    if not schedules:
+        raise StagingError("cannot fuse an empty list of schedules")
+    degree = schedules[0].degree
+    dimension = schedules[0].layout.dimension
+    for k, schedule in enumerate(schedules):
+        if schedule.degree != degree:
+            raise StagingError(
+                f"schedule {k} has degree {schedule.degree}, expected {degree}"
+            )
+        if schedule.layout.dimension != dimension:
+            raise StagingError(
+                f"schedule {k} has dimension {schedule.layout.dimension}, expected {dimension}"
+            )
+    offsets: list[int] = []
+    total = 0
+    for schedule in schedules:
+        offsets.append(total)
+        total += schedule.layout.total_slots
+
+    n_conv_layers = max(len(s.convolutions.layers()) for s in schedules)
+    n_add_layers = max(len(s.additions.layers()) for s in schedules)
+    convolution_layers: list[list[ConvolutionJob]] = [[] for _ in range(n_conv_layers)]
+    addition_layers: list[list[AdditionJob]] = [[] for _ in range(n_add_layers)]
+    scale_jobs: list[ScaleJob] = []
+    value_slots: list[int] = []
+    gradient_slots: list[dict[int, int]] = []
+
+    for equation, (offset, schedule) in enumerate(zip(offsets, schedules)):
+        for level, layer in enumerate(schedule.convolutions.layers()):
+            for job in layer:
+                convolution_layers[level].append(
+                    ConvolutionJob(
+                        input1=offset + job.input1,
+                        input2=offset + job.input2,
+                        output=offset + job.output,
+                        layer=job.layer,
+                        monomial=job.monomial,
+                        kind=job.kind,
+                    )
+                )
+        for job in schedule.scale_jobs:
+            scale_jobs.append(
+                ScaleJob(
+                    slot=offset + job.slot,
+                    factor=job.factor,
+                    monomial=job.monomial,
+                    variable=job.variable,
+                )
+            )
+        for level, layer in enumerate(schedule.additions.layers()):
+            for job in layer:
+                addition_layers[level].append(
+                    AdditionJob(
+                        source=offset + job.source,
+                        target=offset + job.target,
+                        layer=job.layer,
+                        group=f"eq{equation}:{job.group}",
+                    )
+                )
+        value_slots.append(offset + schedule.value_slot)
+        gradient_slots.append(
+            {
+                variable: offset + slot
+                for variable, slot in schedule.additions.gradient_slots.items()
+            }
+        )
+
+    return FusedSystemSchedule(
+        schedules=schedules,
+        offsets=tuple(offsets),
+        total_slots=total,
+        degree=degree,
+        dimension=dimension,
+        convolution_layers=convolution_layers,
+        scale_jobs=scale_jobs,
+        addition_layers=addition_layers,
+        value_slots=tuple(value_slots),
+        gradient_slots=tuple(gradient_slots),
+    )
+
+
+# --------------------------------------------------------------------- #
+# the system evaluator
+# --------------------------------------------------------------------- #
+class SystemEvaluator:
+    """Evaluate a whole polynomial system (values + Jacobian) in one pass.
+
+    Parameters
+    ----------
+    polynomials:
+        The system's equations; all must share dimension and truncation
+        degree (any coefficient ring the selected mode supports).
+    mode:
+        One of ``"reference"``, ``"staged"``, ``"parallel"``, ``"gpu"`` —
+        the same four modes as :class:`repro.core.PolynomialEvaluator`, but
+        executing the *fused* schedule.
+    device:
+        Device spec or preset name for the ``gpu`` mode's timing model.
+    workers:
+        Thread count for the ``parallel`` mode.
+    cache:
+        A :class:`ScheduleCache`; defaults to the process-wide cache so
+        structurally identical systems share their staging work.
+    """
+
+    def __init__(
+        self,
+        polynomials: Sequence[Polynomial],
+        mode: str = "staged",
+        device=None,
+        workers: int | None = None,
+        cache: ScheduleCache | None = None,
+    ):
+        if mode not in _MODES:
+            raise StagingError(f"unknown mode {mode!r}; choose from {_MODES}")
+        polynomials = list(polynomials)
+        if not polynomials:
+            raise StagingError("a system evaluator needs at least one polynomial")
+        dimension = polynomials[0].dimension
+        degree = polynomials[0].series_degree
+        for k, polynomial in enumerate(polynomials):
+            if polynomial.dimension != dimension:
+                raise StagingError(
+                    f"equation {k} has dimension {polynomial.dimension}, expected {dimension}"
+                )
+            if polynomial.series_degree != degree:
+                raise StagingError(
+                    f"equation {k} has degree {polynomial.series_degree}, expected {degree}"
+                )
+        self.polynomials = polynomials
+        self.dimension = dimension
+        self.degree = degree
+        self.mode = mode
+        self.device = device
+        self.workers = workers
+        self.cache = cache if cache is not None else default_schedule_cache()
+        self.fused: FusedSystemSchedule = self.cache.get(
+            system_structure_key(polynomials),
+            lambda: fuse_schedules([schedule_for_polynomial(p) for p in polynomials]),
+        )
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    @property
+    def n_equations(self) -> int:
+        return len(self.polynomials)
+
+    def evaluate(self, z: Sequence[PowerSeries]) -> list[EvaluationResult]:
+        """Value and gradient of every equation at one input vector."""
+        return self.evaluate_batch([z])[0]
+
+    __call__ = evaluate
+
+    def evaluate_batch(
+        self, zs: Sequence[Sequence[PowerSeries]]
+    ) -> list[list[EvaluationResult]]:
+        """Sweep ``B`` input vectors through the cached fused schedule.
+
+        Returns one list of per-equation results per input vector.  All jobs
+        of one fused layer — across equations *and* instances — form one
+        launch, which is what the parallel dispatch and the GPU timing model
+        account.
+        """
+        zs = [list(z) for z in zs]
+        for z in zs:
+            self._check_inputs(z)
+        if not zs:
+            return []
+        if self.mode == "reference":
+            return [
+                [evaluate_reference(polynomial, z) for polynomial in self.polynomials]
+                for z in zs
+            ]
+        if self.mode == "gpu":
+            return self._evaluate_gpu(zs)
+        return self._evaluate_staged(zs, parallel=(self.mode == "parallel"))
+
+    def job_summary(self) -> dict:
+        """Fused schedule statistics."""
+        return self.fused.summary()
+
+    def cache_stats(self) -> dict:
+        """Hit/miss accounting of the schedule cache this evaluator uses."""
+        return self.cache.stats()
+
+    # ------------------------------------------------------------------ #
+    # shared plumbing
+    # ------------------------------------------------------------------ #
+    def _check_inputs(self, z: Sequence[PowerSeries]) -> None:
+        if len(z) != self.dimension:
+            raise StagingError(f"expected {self.dimension} input series, got {len(z)}")
+        for i, series in enumerate(z):
+            if series.degree != self.degree:
+                raise StagingError(
+                    f"input series {i} has degree {series.degree}, expected {self.degree}"
+                )
+
+    def _prepare_batch_slots(self, zs: Sequence[Sequence[PowerSeries]]) -> list[PowerSeries]:
+        """One flat slot array for the whole batch (stride = ``total_slots``).
+
+        Each instance shares a single :class:`PowerTable` across all its
+        equations, so the common-factor powers of non-multilinear monomials
+        are convolved once per input vector.
+        """
+        all_slots: list[PowerSeries] = []
+        for z in zs:
+            table = PowerTable(z)
+            for polynomial, schedule in zip(self.polynomials, self.fused.schedules):
+                all_slots.extend(prepare_slots(polynomial, schedule, z, table))
+        return all_slots
+
+    def _collect_batch(
+        self, all_slots: Sequence[PowerSeries], batch: int, metadata: dict
+    ) -> list[list[EvaluationResult]]:
+        """Read every (instance, equation) result back from the fused array.
+
+        Each equation's slots are a contiguous slice of the fused array, so
+        the readback itself is the one shared :func:`collect_result` rule —
+        the batched path cannot drift from the scalar evaluator's.
+        """
+        fused = self.fused
+        stride = fused.total_slots
+        results: list[list[EvaluationResult]] = []
+        for b in range(batch):
+            instance: list[EvaluationResult] = []
+            for equation, (offset, schedule) in enumerate(zip(fused.offsets, fused.schedules)):
+                base = b * stride + offset
+                instance.append(
+                    collect_result(
+                        self.polynomials[equation],
+                        schedule,
+                        all_slots[base : base + schedule.layout.total_slots],
+                        dict(metadata, instance=b, equation=equation),
+                    )
+                )
+            results.append(instance)
+        return results
+
+    def _fused_layer_jobs(self, batch: int) -> Iterator[tuple[str, list[tuple[int, object]]]]:
+        """Yield ``(kind, [(base, job), ...])`` — one entry per wide launch."""
+        bases = [b * self.fused.total_slots for b in range(batch)]
+        for layer in self.fused.convolution_layers:
+            yield "convolution", [(base, job) for base in bases for job in layer]
+        if self.fused.scale_jobs:
+            yield "scale", [(base, job) for base in bases for job in self.fused.scale_jobs]
+        for layer in self.fused.addition_layers:
+            yield "addition", [(base, job) for base in bases for job in layer]
+
+    # ------------------------------------------------------------------ #
+    # staged / parallel execution on the host
+    # ------------------------------------------------------------------ #
+    def _evaluate_staged(
+        self, zs: Sequence[Sequence[PowerSeries]], parallel: bool
+    ) -> list[list[EvaluationResult]]:
+        batch = len(zs)
+        all_slots = self._prepare_batch_slots(zs)
+        fused = self.fused
+        if parallel:
+            from ..parallel.pool import LayerParallelExecutor
+
+            executor = LayerParallelExecutor(workers=self.workers)
+            executor.run_fused(self._fused_layer_jobs(batch), all_slots)
+            metadata = {
+                "mode": "parallel",
+                "workers": executor.workers,
+                "batch": batch,
+                "launches": fused.total_launches,
+            }
+            return self._collect_batch(all_slots, batch, metadata)
+
+        apply = {
+            "convolution": apply_convolution,
+            "scale": apply_scale,
+            "addition": apply_addition,
+        }
+        for kind, jobs in self._fused_layer_jobs(batch):
+            run_job = apply[kind]
+            for base, job in jobs:
+                run_job(all_slots, base, job)
+        metadata = {
+            "mode": "staged",
+            "batch": batch,
+            "convolution_jobs": fused.convolution_job_count,
+            "addition_jobs": fused.addition_job_count,
+            "launches": fused.total_launches,
+        }
+        return self._collect_batch(all_slots, batch, metadata)
+
+    # ------------------------------------------------------------------ #
+    # simulated GPU execution
+    # ------------------------------------------------------------------ #
+    def _evaluate_gpu(self, zs: Sequence[Sequence[PowerSeries]]) -> list[list[EvaluationResult]]:
+        from ..gpusim.executor import GPUSimulator
+
+        batch = len(zs)
+        all_slots = self._prepare_batch_slots(zs)
+        simulator = GPUSimulator(device=self.device)
+        outcome = simulator.run_system(self.fused, all_slots, batch=batch)
+        metadata = {
+            "mode": "gpu",
+            "device": simulator.device.name,
+            "batch": batch,
+            "timings": outcome.timings,
+            "precision_limbs": outcome.limbs,
+            "launches": self.fused.total_launches,
+        }
+        return self._collect_batch(outcome.slots, batch, metadata)

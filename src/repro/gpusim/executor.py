@@ -90,9 +90,54 @@ class GPUSimulator:
         return SimulationOutcome(slots=out_slots, timings=timings, limbs=limbs)
 
     # ------------------------------------------------------------------ #
-    def predict(self, schedule, precision=2) -> TimingReport:
+    def run_system(self, fused, slots: list[PowerSeries], batch: int = 1) -> SimulationOutcome:
+        """Execute a fused system schedule for a whole batch of instances.
+
+        ``fused`` is a :class:`repro.core.system.FusedSystemSchedule`;
+        ``slots`` is the flat host-side slot array of all ``batch`` instances
+        (batch stride = ``fused.total_slots``) with every input region
+        filled.  Each fused layer is accounted as **one** kernel launch of
+        ``batch * layer_size`` blocks — the wide launches the paper's
+        throughput tables are about — and executed block by block with the
+        same vectorised kernels as :meth:`run`.
+        """
+        if batch < 1:
+            raise StagingError(f"batch must be >= 1, got {batch}")
+        limbs = self._infer_limbs(slots)
+        degree = fused.degree
+        check_block_fits(degree, limbs, self.device)
+
+        total = fused.total_slots
+        data = DeviceData(limbs, total * batch, degree)
+        stride = degree + 1
+        # Host-to-device transfer of every instance's input regions.
+        for b in range(batch):
+            for slot in fused.input_slots():
+                data.load_series(b * total + slot, slots[b * total + slot].coefficients)
+
+        flat_bases = [b * total * stride for b in range(batch)]
+        for layer in fused.convolution_layers:
+            for base in flat_bases:
+                for job in layer:
+                    offset1, offset2, offset_out = job.offsets(degree)
+                    convolution_block(data, base + offset1, base + offset2, base + offset_out)
+        for base in flat_bases:
+            for scale in fused.scale_jobs:
+                scale_block(data, base + scale.slot * stride, scale.factor)
+        for layer in fused.addition_layers:
+            for base in flat_bases:
+                for job in layer:
+                    offset_source, offset_target = job.offsets(degree)
+                    addition_block(data, base + offset_source, base + offset_target)
+
+        timings = TimingModel(device=self.device, precision=limbs).predict(fused, batch=batch)
+        out_slots = [PowerSeries(data.read_series(slot)) for slot in range(total * batch)]
+        return SimulationOutcome(slots=out_slots, timings=timings, limbs=limbs)
+
+    # ------------------------------------------------------------------ #
+    def predict(self, schedule, precision=2, batch: int = 1) -> TimingReport:
         """Timing-only prediction (no numerical execution)."""
-        return TimingModel(device=self.device, precision=precision).predict(schedule)
+        return TimingModel(device=self.device, precision=precision).predict(schedule, batch=batch)
 
     # ------------------------------------------------------------------ #
     @staticmethod

@@ -121,18 +121,26 @@ class TimingModel:
     # ------------------------------------------------------------------ #
     # whole schedules
     # ------------------------------------------------------------------ #
-    def predict(self, schedule) -> TimingReport:
-        """Predict all launches of a :class:`repro.core.JobSchedule`."""
+    def predict(self, schedule, batch: int = 1) -> TimingReport:
+        """Predict all launches of a schedule.
+
+        Works for a per-polynomial :class:`repro.core.JobSchedule` and for a
+        fused :class:`repro.core.system.FusedSystemSchedule` alike — both
+        expose ``degree``, per-layer launch sizes and scale jobs.  ``batch``
+        accounts a batched sweep: every launch carries ``batch`` times as
+        many blocks (more waves per launch, same number of launches), which
+        is exactly how fused wide launches amortise the per-launch overhead.
+        """
         degree = schedule.degree
         report = TimingReport()
         for layer, blocks in enumerate(schedule.convolution_launches, start=1):
             if blocks:
-                report.add(self.convolution_launch(blocks, degree, layer))
+                report.add(self.convolution_launch(blocks * batch, degree, layer))
         if schedule.scale_jobs:
-            report.add(self.scale_launch(len(schedule.scale_jobs), degree))
+            report.add(self.scale_launch(len(schedule.scale_jobs) * batch, degree))
         for layer, blocks in enumerate(schedule.addition_launches, start=1):
             if blocks:
-                report.add(self.addition_launch(blocks, degree, layer))
+                report.add(self.addition_launch(blocks * batch, degree, layer))
         return report
 
     def predict_from_launch_sizes(

@@ -2,7 +2,7 @@
 
 from .systems import PolynomialSystem
 from .linsolve import lu_solve, matrix_vector_product, residual_norm
-from .newton import NewtonStep, NewtonResult, newton_power_series
+from .newton import NewtonStep, NewtonResult, newton_power_series, newton_power_series_batch
 from .pathtrack import PathPoint, PathTrackResult, TaylorPathTracker
 
 __all__ = [
@@ -13,6 +13,7 @@ __all__ = [
     "NewtonStep",
     "NewtonResult",
     "newton_power_series",
+    "newton_power_series_batch",
     "PathPoint",
     "PathTrackResult",
     "TaylorPathTracker",

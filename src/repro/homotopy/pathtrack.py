@@ -20,7 +20,7 @@ from typing import Callable, Sequence
 
 from ..errors import ConvergenceError
 from ..series.series import PowerSeries
-from .newton import newton_power_series
+from .newton import newton_power_series, newton_power_series_batch
 from .systems import PolynomialSystem
 
 __all__ = ["PathPoint", "PathTrackResult", "TaylorPathTracker"]
@@ -124,6 +124,72 @@ class TaylorPathTracker:
             h = min(self.step, t_end - t)
             values = [series.evaluate(_promote_step(series, h)) for series in newton.solution]
             t += h
+
+    # ------------------------------------------------------------------ #
+    def track_many(
+        self,
+        start_values: Sequence[Sequence],
+        t_start: float = 0.0,
+        t_end: float = 1.0,
+    ) -> list[PathTrackResult]:
+        """Follow several solution paths in lockstep, batching the Newton work.
+
+        All paths share the fixed parameter grid, so at every accepted ``t``
+        the local system is built **once** and the Newton refinements of all
+        still-active paths run through one batched evaluation sweep
+        (:func:`repro.homotopy.newton_power_series_batch`).  A path whose
+        refinement misses the tolerance is marked failed and dropped; the
+        remaining paths continue.  Returns one :class:`PathTrackResult` per
+        start vector, in order.
+        """
+        results = [PathTrackResult() for _ in start_values]
+        values = [list(start) for start in start_values]
+        active = list(range(len(values)))
+        t = float(t_start)
+        guard = 0
+        while active:
+            guard += 1
+            if guard > 10_000:
+                raise ConvergenceError("path tracking exceeded the iteration guard")
+            system = self.system_builder(t, self.degree)
+            initials = [
+                [PowerSeries.constant(v, self.degree) for v in values[index]]
+                for index in active
+            ]
+            newtons = newton_power_series_batch(
+                system,
+                initials,
+                max_iterations=self.newton_iterations,
+                tolerance=self.tolerance,
+            )
+            at_end = t >= t_end
+            h = 0.0 if at_end else min(self.step, t_end - t)
+            survivors: list[int] = []
+            for index, newton in zip(active, newtons):
+                residual = newton.final_residual
+                if not newton.converged and residual > self.tolerance:
+                    results[index].success = False
+                    continue
+                results[index].points.append(
+                    PathPoint(
+                        t=t,
+                        values=tuple(series.constant_term() for series in newton.solution),
+                        residual=residual,
+                        newton_iterations=newton.iterations,
+                    )
+                )
+                if at_end:
+                    results[index].success = True
+                    continue
+                values[index] = [
+                    series.evaluate(_promote_step(series, h)) for series in newton.solution
+                ]
+                survivors.append(index)
+            if at_end:
+                break
+            active = survivors
+            t += h
+        return results
 
 
 def _promote_step(series: PowerSeries, h: float):

@@ -2,13 +2,14 @@
 
 The motivating application of the paper is the robust path tracker of
 PHCpack: Newton's method on power series requires, at every iteration, the
-value and the Jacobian of a *system* of polynomials at a vector of series —
-which is exactly ``n`` invocations of the evaluator this library provides.
-
-:class:`PolynomialSystem` is a thin container around a list of
-:class:`repro.circuits.Polynomial` sharing dimension and truncation degree,
-with convenience methods that evaluate all equations and assemble the
-Jacobian matrix (a matrix of power series).
+value and the Jacobian of a *system* of polynomials at a vector of series.
+:class:`PolynomialSystem` delegates that work to the batched
+:class:`repro.core.SystemEvaluator`, which evaluates all equations through
+one fused job schedule (shared slot layout, one wide launch per layer) and
+memoises the staging in a structure-keyed LRU cache — so the repeated system
+constructions of Newton/path-tracking clients pay the staging cost once per
+structure, and whole batches of input vectors (many paths, many predictor
+points) sweep through the schedule in one pass via :meth:`evaluate_batch`.
 """
 
 from __future__ import annotations
@@ -17,7 +18,7 @@ from typing import Callable, Sequence
 
 from ..circuits.polynomial import Polynomial
 from ..circuits.reference import EvaluationResult
-from ..core.evaluator import PolynomialEvaluator
+from ..core.system import ScheduleCache, SystemEvaluator
 from ..errors import StagingError
 from ..series.series import PowerSeries
 
@@ -25,23 +26,38 @@ __all__ = ["PolynomialSystem"]
 
 
 class PolynomialSystem:
-    """A square (or rectangular) system of polynomials in ``dimension`` variables."""
+    """A square (or rectangular) system of polynomials in ``dimension`` variables.
 
-    def __init__(self, polynomials: Sequence[Polynomial], mode: str = "staged"):
+    Parameters
+    ----------
+    polynomials:
+        The equations; all must share dimension and truncation degree.
+    mode:
+        Execution mode of the underlying :class:`repro.core.SystemEvaluator`
+        (``"reference"``, ``"staged"``, ``"parallel"`` or ``"gpu"``).
+    device, workers, cache:
+        Forwarded to the system evaluator (GPU timing device, thread count,
+        schedule cache; the default cache is process-wide).
+    """
+
+    def __init__(
+        self,
+        polynomials: Sequence[Polynomial],
+        mode: str = "staged",
+        device=None,
+        workers: int | None = None,
+        cache: ScheduleCache | None = None,
+    ):
         polynomials = list(polynomials)
         if not polynomials:
             raise StagingError("a system needs at least one polynomial")
-        dimension = polynomials[0].dimension
-        degree = polynomials[0].series_degree
-        for k, polynomial in enumerate(polynomials):
-            if polynomial.dimension != dimension:
-                raise StagingError(f"equation {k} has dimension {polynomial.dimension}, expected {dimension}")
-            if polynomial.series_degree != degree:
-                raise StagingError(f"equation {k} has degree {polynomial.series_degree}, expected {degree}")
+        self.evaluator = SystemEvaluator(
+            polynomials, mode=mode, device=device, workers=workers, cache=cache
+        )
         self.polynomials = polynomials
-        self.dimension = dimension
-        self.degree = degree
-        self.evaluators = [PolynomialEvaluator(p, mode=mode) for p in polynomials]
+        self.dimension = self.evaluator.dimension
+        self.degree = self.evaluator.degree
+        self.mode = mode
 
     # ------------------------------------------------------------------ #
     @property
@@ -53,8 +69,14 @@ class PolynomialSystem:
         return self.n_equations == self.dimension
 
     def evaluate(self, z: Sequence[PowerSeries]) -> list[EvaluationResult]:
-        """Value and gradient of every equation at ``z``."""
-        return [evaluator.evaluate(z) for evaluator in self.evaluators]
+        """Value and gradient of every equation at ``z`` (one fused pass)."""
+        return self.evaluator.evaluate(z)
+
+    def evaluate_batch(
+        self, zs: Sequence[Sequence[PowerSeries]]
+    ) -> list[list[EvaluationResult]]:
+        """Evaluate the system at ``B`` input vectors in one batched sweep."""
+        return self.evaluator.evaluate_batch(zs)
 
     def residual(self, z: Sequence[PowerSeries]) -> list[PowerSeries]:
         """The vector ``F(z)`` only."""
@@ -64,9 +86,29 @@ class PolynomialSystem:
         """Assemble the Jacobian matrix from per-equation results."""
         return [list(result.gradient) for result in results]
 
-    def map(self, func: Callable[[Polynomial], Polynomial], mode: str = "staged") -> "PolynomialSystem":
-        """Apply a transformation to every equation (e.g. precision change)."""
-        return PolynomialSystem([func(p) for p in self.polynomials], mode=mode)
+    def job_summary(self) -> dict:
+        """Statistics of the fused schedule (launches, jobs, slots)."""
+        return self.evaluator.job_summary()
+
+    def cache_stats(self) -> dict:
+        """Hit/miss accounting of the schedule cache behind this system."""
+        return self.evaluator.cache_stats()
+
+    def map(
+        self, func: Callable[[Polynomial], Polynomial], mode: str | None = None
+    ) -> "PolynomialSystem":
+        """Apply a transformation to every equation (e.g. precision change).
+
+        The transformed system inherits this system's execution configuration
+        (mode, device, workers, schedule cache) unless ``mode`` overrides it.
+        """
+        return PolynomialSystem(
+            [func(p) for p in self.polynomials],
+            mode=mode if mode is not None else self.mode,
+            device=self.evaluator.device,
+            workers=self.evaluator.workers,
+            cache=self.evaluator.cache,
+        )
 
     def __len__(self) -> int:
         return self.n_equations

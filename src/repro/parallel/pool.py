@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor, wait
-from typing import Sequence
+from typing import Iterable, Sequence
 
+from ..core.jobs import apply_addition, apply_convolution, apply_scale
 from ..series.series import PowerSeries
 from .partition import chunk_evenly
 
@@ -38,34 +39,67 @@ class LayerParallelExecutor:
     # ------------------------------------------------------------------ #
     def run_schedule(self, schedule, slots: list[PowerSeries]) -> None:
         """Run all stages of ``schedule`` in place on the slot array."""
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+
+        def layers():
             for layer in schedule.convolutions.layers():
-                self._run_convolution_layer(pool, layer, slots)
+                yield "convolution", [(0, job) for job in layer]
             if schedule.scale_jobs:
-                self._run_scale_layer(pool, schedule.scale_jobs, slots)
+                yield "scale", [(0, job) for job in schedule.scale_jobs]
             for layer in schedule.additions.layers():
-                self._run_addition_layer(pool, layer, slots)
+                yield "addition", [(0, job) for job in layer]
+
+        self.run_fused(layers(), slots)
+
+    def run_fused(
+        self,
+        layers: Iterable[tuple[str, Sequence]],
+        slots: list[PowerSeries],
+    ) -> int:
+        """Run fused system layers, each as one wide launch.
+
+        ``layers`` yields ``(kind, jobs)`` pairs where ``kind`` is one of
+        ``"convolution"``, ``"scale"`` or ``"addition"`` and ``jobs`` is a
+        list of ``(base, job)`` pairs — the job's slot indices are shifted by
+        ``base`` (the batch-instance offset into the fused slot array).  All
+        jobs of one layer, across every equation and every batch instance,
+        are chunked over the pool together; worker exceptions propagate to
+        the caller at the layer barrier.  Returns the number of launches.
+        """
+        launches = 0
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            for kind, jobs in layers:
+                if not jobs:
+                    continue
+                launches += 1
+                if kind == "convolution":
+                    self._run_fused_convolution_layer(pool, jobs, slots)
+                elif kind == "scale":
+                    self._run_fused_scale_layer(pool, jobs, slots)
+                elif kind == "addition":
+                    self._run_fused_addition_layer(pool, jobs, slots)
+                else:
+                    raise ValueError(f"unknown fused layer kind {kind!r}")
+        return launches
 
     # ------------------------------------------------------------------ #
-    def _run_convolution_layer(self, pool, jobs: Sequence, slots: list[PowerSeries]) -> None:
+    def _run_fused_convolution_layer(self, pool, jobs: Sequence, slots: list[PowerSeries]) -> None:
         def work(chunk):
-            for job in chunk:
-                slots[job.output] = slots[job.input1].convolve(slots[job.input2])
+            for base, job in chunk:
+                apply_convolution(slots, base, job)
 
         self._dispatch(pool, jobs, work)
 
-    def _run_scale_layer(self, pool, jobs: Sequence, slots: list[PowerSeries]) -> None:
+    def _run_fused_scale_layer(self, pool, jobs: Sequence, slots: list[PowerSeries]) -> None:
         def work(chunk):
-            for job in chunk:
-                factor = slots[job.slot].coefficients[0] * 0 + job.factor
-                slots[job.slot] = slots[job.slot].scale(factor)
+            for base, job in chunk:
+                apply_scale(slots, base, job)
 
         self._dispatch(pool, jobs, work)
 
-    def _run_addition_layer(self, pool, jobs: Sequence, slots: list[PowerSeries]) -> None:
+    def _run_fused_addition_layer(self, pool, jobs: Sequence, slots: list[PowerSeries]) -> None:
         def work(chunk):
-            for job in chunk:
-                slots[job.target] = slots[job.target] + slots[job.source]
+            for base, job in chunk:
+                apply_addition(slots, base, job)
 
         self._dispatch(pool, jobs, work)
 

@@ -25,7 +25,6 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..md.mdarray import MDArray
-from ..md.vrenorm import vec_renormalize
 
 __all__ = [
     "convolve_direct",
@@ -96,27 +95,21 @@ def add_coefficients(x: Sequence, y: Sequence) -> list:
 def convolve_vectorized(x: MDArray, y: MDArray) -> MDArray:
     """Convolution of two multiple-double coefficient arrays.
 
-    For every output coefficient ``k`` the slice products
-    ``x[0..k] * reversed(y[0..k])`` are computed with one vectorised
-    multiple-double multiplication, then folded into a single value with a
-    branch-free renormalisation of all partial-product limbs.  This keeps the
-    per-coefficient work inside NumPy instead of Python loops.
+    Organised by input shift instead of output coefficient: pass ``j`` adds
+    ``x_j * y_{0..d-j}`` into the output tail ``out_{j..d}`` with one
+    vectorised multiple-double multiplication and one vectorised addition.
+    Every renormalisation therefore works on whole limb rows; the
+    accumulation order per output coefficient (increasing ``j``) matches
+    :func:`convolve_direct`, which the Fraction-oracle parity tests rely on.
     """
     if x.size != y.size or x.limbs != y.limbs:
         raise ValueError("operands must share degree and precision")
     d = x.size - 1
-    k_limbs = x.limbs
-    out = MDArray.zeros(x.size, k_limbs)
-    for k in range(d + 1):
-        head = x[0 : k + 1]
-        tail = MDArray(y.data[:, k::-1])
-        products = head * tail
-        # Sum the k+1 products by renormalising all their limb rows at once.
-        rows = [products.data[i, :] for i in range(k_limbs)]
-        terms = [row[j : j + 1] for j in range(k + 1) for row in rows]
-        folded = vec_renormalize(terms, k_limbs)
-        for i in range(k_limbs):
-            out.data[i, k] = folded[i][0]
+    out = MDArray.zeros(x.size, x.limbs)
+    for j in range(d + 1):
+        products = MDArray(y.data[:, : d + 1 - j]) * x[j]
+        tail = MDArray(out.data[:, j:]) + products
+        out.data[:, j:] = tail.data
     return out
 
 

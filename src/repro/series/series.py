@@ -16,7 +16,7 @@ The product of two series is the *convolution* of their coefficient vectors
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 from ..errors import TruncationError
 

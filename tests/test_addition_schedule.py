@@ -4,8 +4,6 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-import pytest
-
 from repro.circuits import Monomial, Polynomial
 from repro.core import build_schedule, schedule_for_polynomial
 from repro.core.addition_tree import stage_additions

@@ -6,8 +6,6 @@ import math
 import random
 from fractions import Fraction
 
-import pytest
-
 from repro.md.eft import (
     OperationCounter,
     counted_two_prod,

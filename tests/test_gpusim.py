@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-import numpy as np
 import pytest
 
 from repro.core import build_schedule

@@ -15,6 +15,7 @@ from repro.homotopy import (
     lu_solve,
     matrix_vector_product,
     newton_power_series,
+    newton_power_series_batch,
     residual_norm,
 )
 from repro.series import PowerSeries, random_fraction_series
@@ -189,6 +190,53 @@ class TestNewton:
         assert result.steps[0].residual >= result.final_residual
 
 
+class TestBatchedNewton:
+    @staticmethod
+    def _sqrt_system(degree, shift=1.0):
+        p = parse_polynomial("x1^2", degree=degree, kind="float")
+        p.constant.coefficients[0] = -shift
+        if degree >= 1:
+            p.constant.coefficients[1] = -1.0
+        return PolynomialSystem([p])
+
+    def test_batch_matches_scalar_per_instance(self):
+        degree = 10
+        system = self._sqrt_system(degree)
+        starts = [
+            [PowerSeries.constant(1.0, degree)],
+            [PowerSeries.constant(1.5, degree)],
+            [PowerSeries.constant(0.7, degree)],
+        ]
+        batch = newton_power_series_batch(system, starts, max_iterations=6, tolerance=1e-14)
+        for start, batched in zip(starts, batch):
+            scalar = newton_power_series(system, start, max_iterations=6, tolerance=1e-14)
+            assert batched.converged == scalar.converged
+            assert batched.iterations == scalar.iterations
+            for mine, theirs in zip(batched.solution, scalar.solution):
+                assert mine.max_abs_error(theirs) == 0.0
+            assert [(s.residual, s.correction) for s in batched.steps] == [
+                (s.residual, s.correction) for s in scalar.steps
+            ]
+
+    def test_mixed_convergence_and_raise(self):
+        degree = 6
+        system = self._sqrt_system(degree)
+        starts = [[PowerSeries.constant(1.0, degree)], [PowerSeries.constant(1.0, degree)]]
+        results = newton_power_series_batch(system, starts, max_iterations=1, tolerance=1e-30)
+        assert not any(result.converged for result in results)
+        with pytest.raises(ConvergenceError):
+            newton_power_series_batch(
+                system, starts, max_iterations=1, tolerance=1e-30, raise_on_failure=True
+            )
+
+    def test_non_square_rejected(self):
+        p = parse_polynomial("x1*x2", degree=2, kind="float")
+        with pytest.raises(ConvergenceError):
+            newton_power_series_batch(
+                PolynomialSystem([p]), [[PowerSeries.constant(1.0, 2)] * 2]
+            )
+
+
 class TestPathTracker:
     @staticmethod
     def _builder(t0: float, degree: int) -> PolynomialSystem:
@@ -219,3 +267,29 @@ class TestPathTracker:
         result = tracker.track([1.0], 0.0, 0.5)
         assert result.success
         assert result.final_values[0] == pytest.approx(math.sqrt(1.5), abs=1e-9)
+
+    def test_track_many_matches_single_path(self):
+        tracker = TaylorPathTracker(self._builder, degree=6, step=0.25)
+        single = tracker.track([1.0], 0.0, 1.0)
+        many = tracker.track_many([[1.0], [-1.0]], 0.0, 1.0)
+        assert all(result.success for result in many)
+        # Path 0 is the same sqrt branch as the scalar tracker...
+        assert len(many[0].points) == len(single.points)
+        for mine, theirs in zip(many[0].points, single.points):
+            assert mine.t == theirs.t
+            assert mine.values == theirs.values
+            assert mine.newton_iterations == theirs.newton_iterations
+        # ...and path 1 follows the negative branch in lockstep.
+        assert many[1].final_values[0] == pytest.approx(-math.sqrt(2.0), abs=1e-9)
+        for point in many[1].points:
+            assert point.values[0] == pytest.approx(-math.sqrt(1.0 + point.t), abs=1e-8)
+
+    def test_track_many_drops_failing_paths(self):
+        tracker = TaylorPathTracker(
+            self._builder, degree=6, step=0.25, newton_iterations=6, tolerance=1e-10
+        )
+        # A start far from any solution branch fails; the good path survives.
+        results = tracker.track_many([[1.0], [250.0]], 0.0, 1.0)
+        assert results[0].success
+        assert not results[1].success
+        assert results[0].final_values[0] == pytest.approx(math.sqrt(2.0), abs=1e-9)

@@ -6,7 +6,7 @@ from fractions import Fraction
 
 import pytest
 
-from repro.md import MultiDouble, get_precision
+from repro.md import MultiDouble
 
 PRECISIONS = (1, 2, 3, 4, 5, 8, 10)
 
@@ -62,7 +62,7 @@ class TestConstruction:
         assert -1.0 <= x.to_float() <= 1.0
         if limbs >= 2:
             # with overwhelming probability the tail is non-zero
-            assert any(l != 0.0 for l in x.limbs[1:])
+            assert any(limb != 0.0 for limb in x.limbs[1:])
 
 
 class TestArithmetic:

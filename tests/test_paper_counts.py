@@ -9,8 +9,6 @@ evidence that the data staging matches the paper's implementation.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.analysis.experiments import launch_structure
 from repro.analysis.paperdata import TABLE2_JOBS
 from repro.circuits.testpolys import p1_structure, p2_structure, p3_structure

@@ -4,12 +4,10 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.circuits import Polynomial, evaluate_reference
-from repro.circuits.testpolys import make_polynomial_from_structure
 from repro.core import PolynomialEvaluator, build_schedule
 from repro.md import MultiDouble
 from repro.md.renorm import renormalize
