@@ -48,10 +48,11 @@ def main() -> None:
     exact = [1.0, 0.25, -0.03125, 0.0078125]
     print("  exact  ", " + ".join(f"{c:+.6f} t^{k}" for k, c in enumerate(exact)))
 
-    # 2. Full path tracking from t = 0 to t = 1.
-    tracker = TaylorPathTracker(build_system, degree=DEGREE, step=0.2)
+    # 2. Full path tracking from t = 0 to t = 1, with every Newton sweep on
+    #    the tensorized NumPy backend (mode="vectorized").
+    tracker = TaylorPathTracker(build_system, degree=DEGREE, step=0.2, mode="vectorized")
     result = tracker.track([1.0, 1.0], 0.0, 1.0)
-    print("\nTaylor path tracking, step 0.2")
+    print("\nTaylor path tracking, step 0.2 (vectorized backend)")
     print(f"  {'t':>5} {'x1':>12} {'exact sqrt(1 + t/2)':>22} {'residual':>12} {'Newton its':>11}")
     for point in result.points:
         exact_value = math.sqrt(1.0 + point.t / 2.0)

@@ -14,6 +14,14 @@ from .system import (
     fuse_schedules,
     system_structure_key,
 )
+from .tensor import (
+    SlotTensor,
+    TensorLayer,
+    TensorProgram,
+    compile_tensor_program,
+    convolve_rows,
+    infer_ring,
+)
 
 __all__ = [
     "ConvolutionJob",
@@ -37,4 +45,10 @@ __all__ = [
     "default_schedule_cache",
     "fuse_schedules",
     "system_structure_key",
+    "SlotTensor",
+    "TensorLayer",
+    "TensorProgram",
+    "compile_tensor_program",
+    "convolve_rows",
+    "infer_ring",
 ]

@@ -28,6 +28,7 @@ ring agrees with the scalar per-polynomial loop to working precision.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Sequence
@@ -57,7 +58,10 @@ __all__ = [
     "default_schedule_cache",
 ]
 
-_MODES = ("reference", "staged", "parallel", "gpu")
+_MODES = ("reference", "staged", "parallel", "gpu", "vectorized")
+
+#: Distinguishes "not cached" from a cached value of ``None``.
+_CACHE_MISS = object()
 
 
 # --------------------------------------------------------------------- #
@@ -68,10 +72,14 @@ class ScheduleCache:
 
     Schedules depend only on polynomial *structure*, so the cache key is the
     tuple of :meth:`repro.circuits.Polynomial.structure_key` values of the
-    system's equations.  The cache is safe to share between evaluators; a
-    module-level default instance (:func:`default_schedule_cache`) is what
-    makes repeated Newton steps — which rebuild structurally identical
-    systems at every parameter value — pay the staging cost exactly once.
+    system's equations.  The cache is safe to share between evaluators *and*
+    between threads (the module-level default instance is visible to the
+    worker threads of the parallel mode): every lookup holds a re-entrant
+    lock, including around the builder call, so one structure is staged at
+    most once no matter how many threads race on it.  A module-level default
+    instance (:func:`default_schedule_cache`) is what makes repeated Newton
+    steps — which rebuild structurally identical systems at every parameter
+    value — pay the staging cost exactly once.
     """
 
     def __init__(self, maxsize: int = 128):
@@ -81,40 +89,52 @@ class ScheduleCache:
         self.hits = 0
         self.misses = 0
         self._entries: OrderedDict[tuple, object] = OrderedDict()
+        # Re-entrant so a builder may itself consult the cache (the
+        # vectorized mode compiles its tensor program from the fused
+        # schedule it just fetched).
+        self._lock = threading.RLock()
 
     def get(self, key: tuple, builder: Callable[[], object]):
-        """Return the cached value for ``key``, building (and storing) on miss."""
-        entry = self._entries.get(key)
-        if entry is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
+        """Return the cached value for ``key``, building (and storing) on miss.
+
+        Any builder result is cacheable — a legitimately ``None``-valued
+        entry is a hit on the next lookup, not a permanent miss.
+        """
+        with self._lock:
+            entry = self._entries.get(key, _CACHE_MISS)
+            if entry is not _CACHE_MISS:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return entry
+            self.misses += 1
+            entry = builder()
+            self._entries[key] = entry
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
             return entry
-        self.misses += 1
-        entry = builder()
-        self._entries[key] = entry
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-        return entry
 
     def clear(self) -> None:
         """Drop all entries and reset the hit/miss counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def stats(self) -> dict:
         """Hit/miss accounting (``hit_rate`` is 0.0 before the first lookup)."""
-        lookups = self.hits + self.misses
-        return {
-            "entries": len(self._entries),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hits / lookups if lookups else 0.0,
-        }
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }
 
     def __repr__(self) -> str:
         return f"ScheduleCache(entries={len(self._entries)}, hits={self.hits}, misses={self.misses})"
@@ -308,8 +328,14 @@ class SystemEvaluator:
         degree (any coefficient ring the selected mode supports).
     mode:
         One of ``"reference"``, ``"staged"``, ``"parallel"``, ``"gpu"`` —
-        the same four modes as :class:`repro.core.PolynomialEvaluator`, but
-        executing the *fused* schedule.
+        the four modes of :class:`repro.core.PolynomialEvaluator` executing
+        the *fused* schedule — or ``"vectorized"``, the tensorized backend
+        of :mod:`repro.core.tensor` that executes every fused layer as a
+        handful of whole-layer NumPy multidouble sweeps.  The vectorized
+        mode covers real coefficient rings (doubles and
+        :class:`repro.md.MultiDouble` of any precision); batches in any
+        other ring (fractions, complexes) transparently fall back to the
+        staged path, which keeps its oracle role.
     device:
         Device spec or preset name for the ``gpu`` mode's timing model.
     workers:
@@ -350,10 +376,15 @@ class SystemEvaluator:
         self.device = device
         self.workers = workers
         self.cache = cache if cache is not None else default_schedule_cache()
+        self._structure_key = system_structure_key(polynomials)
         self.fused: FusedSystemSchedule = self.cache.get(
-            system_structure_key(polynomials),
+            self._structure_key,
             lambda: fuse_schedules([schedule_for_polynomial(p) for p in polynomials]),
         )
+        # The coefficient ring of the system's own series, inferred lazily on
+        # the first vectorized batch (None until then; a (kind, limbs) tuple
+        # or the string "unsupported" afterwards).
+        self._system_ring: object = None
 
     # ------------------------------------------------------------------ #
     # public API
@@ -390,6 +421,8 @@ class SystemEvaluator:
             ]
         if self.mode == "gpu":
             return self._evaluate_gpu(zs)
+        if self.mode == "vectorized":
+            return self._evaluate_vectorized(zs)
         return self._evaluate_staged(zs, parallel=(self.mode == "parallel"))
 
     def job_summary(self) -> dict:
@@ -502,6 +535,100 @@ class SystemEvaluator:
             "launches": fused.total_launches,
         }
         return self._collect_batch(all_slots, batch, metadata)
+
+    # ------------------------------------------------------------------ #
+    # tensorized execution (whole-layer NumPy multidouble sweeps)
+    # ------------------------------------------------------------------ #
+    def _ring_of_system(self) -> tuple[str, int] | None:
+        """The coefficient ring of the system's own series (memoised)."""
+        if self._system_ring is None:
+            from .tensor import infer_ring
+
+            series = [polynomial.constant for polynomial in self.polynomials]
+            for polynomial in self.polynomials:
+                series.extend(monomial.coefficient for monomial in polynomial.monomials)
+            ring = infer_ring(series)
+            self._system_ring = ring if ring is not None else "unsupported"
+        return None if self._system_ring == "unsupported" else self._system_ring
+
+    def _evaluate_vectorized(
+        self, zs: Sequence[Sequence[PowerSeries]]
+    ) -> list[list[EvaluationResult]]:
+        """One whole-layer NumPy sweep over the packed slot tensor.
+
+        The fused slot array of the entire batch is packed into one
+        :class:`repro.core.tensor.SlotTensor` limb tensor, the fused
+        schedule is compiled once per structure into a
+        :class:`repro.core.tensor.TensorProgram` (memoised in the schedule
+        cache next to the fused schedule), and every fused layer executes as
+        a few vectorised multidouble calls — one "launch" per layer instead
+        of one Python call per job.  Coefficient rings the tensor cannot
+        carry (fractions, complexes) fall back to the staged object path;
+        the returned metadata then reports ``mode="staged"``.
+        """
+        from .tensor import SlotTensor, compile_tensor_program, infer_ring
+
+        system_ring = self._ring_of_system()
+        input_ring = (
+            infer_ring(series for z in zs for series in z) if system_ring else None
+        )
+        if system_ring is None or input_ring is None:
+            return self._evaluate_staged(zs, parallel=False)
+        kind = "md" if "md" in (system_ring[0], input_ring[0]) else "float"
+        limbs = max(system_ring[1], input_ring[1])
+        batch = len(zs)
+        all_slots = self._prepare_batch_slots(zs)
+        tensor = SlotTensor.pack(all_slots, limbs=limbs, ring=kind)
+        program = self.cache.get(
+            (self._structure_key, "tensor-program"),
+            lambda: compile_tensor_program(self.fused),
+        )
+        program.run(tensor, batch)
+        metadata = {
+            "mode": "vectorized",
+            "ring": kind,
+            "limbs": limbs,
+            "batch": batch,
+            "convolution_jobs": self.fused.convolution_job_count,
+            "addition_jobs": self.fused.addition_job_count,
+            "launches": program.launches,
+        }
+        return self._collect_vectorized(tensor, batch, metadata)
+
+    def _collect_vectorized(
+        self, tensor, batch: int, metadata: dict
+    ) -> list[list[EvaluationResult]]:
+        """Scatter only the value/gradient rows back into series results.
+
+        The fused schedule's public output maps (``value_slots``,
+        ``gradient_slots``) point straight at the rows that matter, so the
+        readback touches one row per output series instead of unpacking the
+        whole tensor.
+        """
+        fused = self.fused
+        stride = fused.total_slots
+        zero = tensor.zero_series()
+        results: list[list[EvaluationResult]] = []
+        for b in range(batch):
+            base = b * stride
+            instance: list[EvaluationResult] = []
+            for equation in range(fused.n_equations):
+                gradient_map = fused.gradient_slots[equation]
+                gradient = [
+                    tensor.series_at(base + gradient_map[variable])
+                    if variable in gradient_map
+                    else zero.copy()
+                    for variable in range(self.dimension)
+                ]
+                instance.append(
+                    EvaluationResult(
+                        value=tensor.series_at(base + fused.value_slots[equation]),
+                        gradient=gradient,
+                        metadata=dict(metadata, instance=b, equation=equation),
+                    )
+                )
+            results.append(instance)
+        return results
 
     # ------------------------------------------------------------------ #
     # simulated GPU execution

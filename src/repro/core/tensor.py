@@ -1,0 +1,407 @@
+"""Tensorized execution backend: whole-layer NumPy sweeps over fused schedules.
+
+The staged executors of :mod:`repro.core.system` restore the paper's launch
+*width* — one fused layer carries the jobs of every equation and every batch
+instance — but still execute that width as a Python-level loop over
+:class:`repro.series.PowerSeries` objects, one job at a time.  This module
+turns the width into actual SIMD work, the host-side analogue of "one kernel
+launch per layer" with the paper's structure-of-arrays data layout:
+
+* :class:`SlotTensor` packs the fused slot array of a whole batch into one
+  contiguous limb tensor of shape ``(limbs, total_slots x batch, degree+1)``
+  — row ``b * total_slots + s`` holds the coefficients of slot ``s`` of
+  instance ``b``, one NumPy plane per limb — with gather/scatter back to
+  :class:`repro.series.PowerSeries` coefficients (floats or
+  :class:`repro.md.MultiDouble`);
+* :func:`compile_tensor_program` compiles a
+  :class:`repro.core.FusedSystemSchedule` once per structure into a
+  :class:`TensorProgram`: per fused layer, the job tuples are transposed
+  into NumPy index arrays (inputs, outputs, scale factors), so nothing is
+  interpreted per job at execution time;
+* :meth:`TensorProgram.run` executes each fused layer as a handful of
+  whole-layer NumPy calls: a batched truncated convolution
+  (:func:`convolve_rows`, the many-triples generalisation of
+  :func:`repro.series.convolve_vectorized`), one vectorised scale pass, and
+  one renormalised addition per tree level — all built on
+  :func:`repro.md.veft.vec_two_prod` / :func:`repro.md.vrenorm.vec_renormalize`
+  through :mod:`repro.md.vecops`.
+
+The backend is registered as the fifth execution mode (``"vectorized"``) of
+:class:`repro.core.SystemEvaluator`.  It covers the real rings the
+vectorised multiple-double stack supports — plain doubles and
+:class:`MultiDouble` of any limb count; evaluators fall back to the staged
+path for exact fractions and complex rings, which keep their oracle role.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..md.multidouble import MultiDouble
+from ..md.vecops import md_add_rows, md_mul_rows, md_scale_rows
+from ..series.series import PowerSeries
+from .system import FusedSystemSchedule
+
+__all__ = [
+    "SlotTensor",
+    "TensorLayer",
+    "TensorProgram",
+    "compile_tensor_program",
+    "convolve_rows",
+    "infer_ring",
+]
+
+#: Coefficient types the backend packs losslessly into limb planes.
+_REAL_SCALARS = (int, float, np.floating, np.integer)
+
+
+# --------------------------------------------------------------------- #
+# ring inference
+# --------------------------------------------------------------------- #
+def infer_ring(series_iter: Iterable[PowerSeries]) -> tuple[str, int] | None:
+    """Detect the coefficient ring of a collection of series.
+
+    Returns ``("md", limbs)`` when any coefficient is a
+    :class:`repro.md.MultiDouble` (``limbs`` is the largest precision seen;
+    plain doubles promote exactly), ``("float", 1)`` when everything is a
+    real scalar, and ``None`` for any ring the tensor backend cannot carry
+    (fractions, complexes, complex multiple doubles) — the caller then falls
+    back to the staged object path.
+    """
+    kind = "float"
+    limbs = 1
+    for series in series_iter:
+        for c in series.coefficients:
+            if isinstance(c, MultiDouble):
+                kind = "md"
+                limbs = max(limbs, c.precision.limbs)
+            elif not isinstance(c, _REAL_SCALARS):
+                return None
+    return kind, limbs
+
+
+# --------------------------------------------------------------------- #
+# the packed slot tensor
+# --------------------------------------------------------------------- #
+class SlotTensor:
+    """The fused slot array of a whole batch as one limb tensor.
+
+    ``data[i, r, k]`` is limb ``i`` of coefficient ``k`` of slot row ``r``;
+    with batch stride ``total_slots``, row ``b * total_slots + s`` is slot
+    ``s`` of instance ``b`` — the same flat layout the staged sweep uses,
+    transposed into the paper's one-array-per-limb memory shape.
+    """
+
+    __slots__ = ("data", "ring")
+
+    def __init__(self, data: np.ndarray, ring: str = "md"):
+        data = np.ascontiguousarray(data, dtype=np.float64)
+        if data.ndim != 3:
+            raise ValueError(
+                f"SlotTensor expects a (limbs, rows, degree+1) array, got shape {data.shape}"
+            )
+        if ring not in ("float", "md"):
+            raise ValueError(f"unknown ring {ring!r}; choose 'float' or 'md'")
+        self.data = data
+        self.ring = ring
+
+    # ------------------------------------------------------------------ #
+    @property
+    def limbs(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def rows(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def width(self) -> int:
+        """Coefficients per series row (``degree + 1``)."""
+        return self.data.shape[2]
+
+    @property
+    def degree(self) -> int:
+        return self.width - 1
+
+    def copy(self) -> "SlotTensor":
+        return SlotTensor(self.data.copy(), self.ring)
+
+    # ------------------------------------------------------------------ #
+    # gather: series -> tensor rows
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def pack(
+        cls, slots: Sequence[PowerSeries], limbs: int, ring: str = "md"
+    ) -> "SlotTensor":
+        """Pack a flat slot array of series into one limb tensor.
+
+        Every coefficient must be a real scalar or a :class:`MultiDouble`;
+        values with fewer limbs than the tensor are zero-extended (exact),
+        values with more limbs are renormalised down.
+        """
+        if not slots:
+            raise ValueError("cannot pack an empty slot array")
+        width = slots[0].degree + 1
+        for r, series in enumerate(slots):
+            if series.degree + 1 != width:
+                raise ValueError(
+                    f"slot {r} has degree {series.degree}, expected {width - 1}"
+                )
+        data = cls._pack_uniform(slots, limbs, width, ring)
+        if data is None:
+            data = np.zeros((limbs, len(slots), width), dtype=np.float64)
+            for r, series in enumerate(slots):
+                for k, c in enumerate(series.coefficients):
+                    if isinstance(c, MultiDouble):
+                        parts = c.limbs
+                        if len(parts) > limbs:
+                            parts = c.to_precision(limbs).limbs
+                        data[: len(parts), r, k] = parts
+                    elif isinstance(c, _REAL_SCALARS):
+                        data[0, r, k] = float(c)
+                    else:
+                        raise TypeError(
+                            f"cannot pack {type(c).__name__} coefficients into a SlotTensor"
+                        )
+        return cls(data, ring)
+
+    @staticmethod
+    def _pack_uniform(slots, limbs: int, width: int, ring: str) -> np.ndarray | None:
+        """Fast path: every coefficient shares one representation.
+
+        Slot arrays of one precision pack through a single nested
+        comprehension + transpose instead of a per-coefficient Python loop;
+        odd inputs (mismatched limb counts, unsupported coefficients) return
+        ``None`` and take the general loop.  The dispatch follows the
+        declared ``ring``, never a sampled coefficient, and the md path
+        zero-extends real scalars explicitly (exact) rather than let
+        ``MultiDouble.__float__`` silently round limbs away — a float-ring
+        system evaluated at md inputs (a supported mix) stays on the fast
+        path instead of failing over.
+        """
+        tail = (0.0,) * (limbs - 1)
+
+        def limb_row(c):
+            if isinstance(c, MultiDouble):
+                return c.limbs
+            if isinstance(c, _REAL_SCALARS):
+                return (float(c),) + tail
+            # Fractions etc. would survive float() only by rounding; punt to
+            # the general loop, which raises the proper TypeError.
+            raise TypeError(type(c).__name__)
+
+        try:
+            if ring == "md":
+                nested = [
+                    [limb_row(c) for c in s.coefficients] for s in slots
+                ]
+                block = np.asarray(nested, dtype=np.float64)  # (rows, width, k)
+                if block.shape != (len(slots), width, limbs):
+                    return None
+                return np.ascontiguousarray(block.transpose(2, 0, 1))
+            rows = [s.coefficients for s in slots]
+            if any(not isinstance(c, _REAL_SCALARS) for row in rows for c in row):
+                # np.asarray would lossily coerce anything with __float__
+                # (Fraction, multi-limb MultiDouble); punt instead.
+                raise TypeError("non-real coefficient in float-ring pack")
+            block = np.asarray(rows, dtype=np.float64)  # (rows, width)
+            if block.shape != (len(slots), width):
+                return None
+            data = np.zeros((limbs, len(slots), width), dtype=np.float64)
+            data[0] = block
+            return data
+        except (AttributeError, TypeError, ValueError):
+            return None
+
+    # ------------------------------------------------------------------ #
+    # scatter: tensor rows -> series
+    # ------------------------------------------------------------------ #
+    def zero_series(self) -> PowerSeries:
+        """A zero series in this tensor's coefficient ring."""
+        if self.ring == "float":
+            return PowerSeries([0.0] * self.width)
+        zero = MultiDouble.zero(self.limbs)
+        return PowerSeries([zero] * self.width)
+
+    def series_at(self, row: int) -> PowerSeries:
+        """Scatter one tensor row back into a :class:`PowerSeries`."""
+        if self.ring == "float":
+            return PowerSeries([float(v) for v in self.data[0, row, :]])
+        block = self.data[:, row, :]
+        return PowerSeries(
+            [
+                MultiDouble(tuple(block[:, k]), self.limbs)
+                for k in range(self.width)
+            ]
+        )
+
+    def to_slots(self) -> list[PowerSeries]:
+        """Scatter the whole tensor back into a flat slot array of series."""
+        return [self.series_at(r) for r in range(self.rows)]
+
+
+# --------------------------------------------------------------------- #
+# the batched convolution kernel
+# --------------------------------------------------------------------- #
+def convolve_rows(x: np.ndarray, y: np.ndarray, limbs: int) -> np.ndarray:
+    """Truncated convolution of many series pairs in one sweep.
+
+    ``x`` and ``y`` are stacked limb tensors of shape ``(limbs, m, n)`` —
+    ``m`` independent (x, y) operand pairs of ``n`` coefficients each, the
+    gathered input rows of one fused convolution layer across all equations
+    and batch instances.  The result has the same shape and holds the
+    truncated products.
+
+    This is :func:`repro.series.convolve_vectorized` generalised from one
+    triple to a whole layer: pass ``j`` multiplies column ``j`` of every
+    ``x`` row into the leading ``n - j`` columns of the matching ``y`` row
+    and accumulates into the output tail — ``n`` whole-layer multiple-double
+    multiply/add sweeps regardless of how many jobs the layer carries.  The
+    per-coefficient accumulation order (increasing ``j``) matches
+    :func:`repro.series.convolve_direct`.
+    """
+    if x.shape != y.shape:
+        raise ValueError(f"operand tensors must share shape, got {x.shape} and {y.shape}")
+    n = x.shape[2]
+    out = np.zeros_like(x)
+    for j in range(n):
+        xj = [x[i, :, j : j + 1] for i in range(limbs)]  # (m, 1), broadcasts
+        yh = [y[i, :, : n - j] for i in range(limbs)]  # (m, n - j)
+        products = md_mul_rows(xj, yh, limbs)
+        acc = md_add_rows([out[i, :, j:] for i in range(limbs)], products, limbs)
+        for i in range(limbs):
+            out[i, :, j:] = acc[i]
+    return out
+
+
+# --------------------------------------------------------------------- #
+# the layer compiler
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TensorLayer:
+    """One fused layer, transposed from job tuples into index arrays.
+
+    ``kind`` is ``"convolution"`` (``in1 * in2 -> out``), ``"scale"``
+    (``out *= factors``) or ``"addition"`` (``out += in1``); the arrays hold
+    per-instance slot indices, replicated across the batch at run time by
+    adding the instance base offsets.
+    """
+
+    kind: str
+    in1: np.ndarray | None
+    in2: np.ndarray | None
+    out: np.ndarray
+    factors: np.ndarray | None = None
+
+    @property
+    def jobs(self) -> int:
+        return int(self.out.size)
+
+
+@dataclass(frozen=True)
+class TensorProgram:
+    """A compiled fused schedule: one :class:`TensorLayer` per wide launch.
+
+    Compiling depends only on the polynomial structure, so programs are
+    memoised in the :class:`repro.core.ScheduleCache` next to the fused
+    schedule they were compiled from.
+    """
+
+    total_slots: int
+    degree: int
+    layers: tuple[TensorLayer, ...]
+
+    @property
+    def launches(self) -> int:
+        """Whole-layer NumPy launches per instance sweep."""
+        return len(self.layers)
+
+    def run(self, tensor: SlotTensor, batch: int) -> SlotTensor:
+        """Execute every fused layer on the packed slot tensor, in place.
+
+        Each layer gathers its operand rows (across all ``batch`` instances
+        at once), applies one whole-layer vectorised multiple-double
+        operation, and scatters the results back — the Python interpreter
+        sees a handful of NumPy calls per layer, never a per-job loop.
+        """
+        if tensor.rows != batch * self.total_slots:
+            raise ValueError(
+                f"tensor has {tensor.rows} rows, expected "
+                f"{batch} x {self.total_slots}"
+            )
+        data = tensor.data
+        limbs = tensor.limbs
+        bases = (np.arange(batch, dtype=np.int64) * self.total_slots)[:, None]
+        for layer in self.layers:
+            out_rows = (layer.out[None, :] + bases).reshape(-1)
+            if layer.kind == "convolution":
+                in1_rows = (layer.in1[None, :] + bases).reshape(-1)
+                in2_rows = (layer.in2[None, :] + bases).reshape(-1)
+                data[:, out_rows, :] = convolve_rows(
+                    data[:, in1_rows, :], data[:, in2_rows, :], limbs
+                )
+            elif layer.kind == "scale":
+                factors = np.tile(layer.factors, batch)[:, None]  # (m, 1)
+                gathered = [data[i, out_rows, :] for i in range(limbs)]
+                scaled = md_scale_rows(gathered, factors, limbs)
+                for i in range(limbs):
+                    data[i, out_rows, :] = scaled[i]
+            else:  # addition
+                in1_rows = (layer.in1[None, :] + bases).reshape(-1)
+                sources = [data[i, in1_rows, :] for i in range(limbs)]
+                targets = [data[i, out_rows, :] for i in range(limbs)]
+                summed = md_add_rows(targets, sources, limbs)
+                for i in range(limbs):
+                    data[i, out_rows, :] = summed[i]
+        return tensor
+
+
+def compile_tensor_program(fused: FusedSystemSchedule) -> TensorProgram:
+    """Transpose every fused layer's job list into NumPy index arrays.
+
+    Jobs within one fused layer are independent by construction (that is
+    what makes them one launch), so their outputs are distinct rows and the
+    gather-compute-scatter execution of :meth:`TensorProgram.run` cannot
+    race with itself.
+    """
+    layers: list[TensorLayer] = []
+    for layer in fused.convolution_layers:
+        if not layer:
+            continue
+        layers.append(
+            TensorLayer(
+                kind="convolution",
+                in1=np.asarray([job.input1 for job in layer], dtype=np.int64),
+                in2=np.asarray([job.input2 for job in layer], dtype=np.int64),
+                out=np.asarray([job.output for job in layer], dtype=np.int64),
+            )
+        )
+    if fused.scale_jobs:
+        layers.append(
+            TensorLayer(
+                kind="scale",
+                in1=None,
+                in2=None,
+                out=np.asarray([job.slot for job in fused.scale_jobs], dtype=np.int64),
+                factors=np.asarray(
+                    [float(job.factor) for job in fused.scale_jobs], dtype=np.float64
+                ),
+            )
+        )
+    for layer in fused.addition_layers:
+        if not layer:
+            continue
+        layers.append(
+            TensorLayer(
+                kind="addition",
+                in1=np.asarray([job.source for job in layer], dtype=np.int64),
+                in2=None,
+                out=np.asarray([job.target for job in layer], dtype=np.int64),
+            )
+        )
+    return TensorProgram(
+        total_slots=fused.total_slots, degree=fused.degree, layers=tuple(layers)
+    )

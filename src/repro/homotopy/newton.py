@@ -114,6 +114,7 @@ def newton_power_series_batch(
     max_iterations: int = 8,
     tolerance: float = 0.0,
     raise_on_failure: bool = False,
+    mode: str | None = None,
 ) -> list[NewtonResult]:
     """Refine several power-series solutions of ``system`` in one batched sweep.
 
@@ -125,10 +126,15 @@ def newton_power_series_batch(
     equation.  This is the throughput shape of the paper's motivating
     application: many independent solution paths, one wide launch sequence.
 
+    ``mode`` re-targets the system's execution mode for this refinement
+    (e.g. ``mode="vectorized"`` runs every sweep through the tensorized
+    NumPy backend); ``None`` keeps the system's own mode.
+
     Returns one :class:`NewtonResult` per initial vector, in order.  With
     ``raise_on_failure`` a :class:`repro.errors.ConvergenceError` is raised
     when any instance misses the tolerance.
     """
+    system = system.with_mode(mode)
     if not system.is_square:
         raise ConvergenceError(
             f"Newton needs a square system, got {system.n_equations} equations "

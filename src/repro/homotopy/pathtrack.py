@@ -62,6 +62,10 @@ class TaylorPathTracker:
         Parameter step ``h`` taken after each accepted expansion.
     newton_iterations, tolerance:
         Passed to :func:`repro.homotopy.newton_power_series`.
+    mode:
+        When set, every system the builder produces is re-targeted at this
+        execution mode (``"vectorized"`` puts all Newton sweeps on the
+        tensorized NumPy backend); ``None`` keeps the builder's choice.
     """
 
     def __init__(
@@ -71,6 +75,7 @@ class TaylorPathTracker:
         step: float = 0.1,
         newton_iterations: int = 6,
         tolerance: float = 1.0e-10,
+        mode: str | None = None,
     ):
         if degree < 1:
             raise ValueError("the tracker needs degree >= 1 to advance")
@@ -81,6 +86,11 @@ class TaylorPathTracker:
         self.step = step
         self.newton_iterations = newton_iterations
         self.tolerance = tolerance
+        self.mode = mode
+
+    def _build_system(self, t: float) -> PolynomialSystem:
+        """The local system at ``t``, re-targeted at the tracker's mode."""
+        return self.system_builder(t, self.degree).with_mode(self.mode)
 
     # ------------------------------------------------------------------ #
     def track(self, start_values: Sequence, t_start: float = 0.0, t_end: float = 1.0) -> PathTrackResult:
@@ -98,7 +108,7 @@ class TaylorPathTracker:
             guard += 1
             if guard > 10_000:
                 raise ConvergenceError("path tracking exceeded the iteration guard")
-            system = self.system_builder(t, self.degree)
+            system = self._build_system(t)
             initial = [PowerSeries.constant(v, self.degree) for v in values]
             newton = newton_power_series(
                 system,
@@ -151,7 +161,7 @@ class TaylorPathTracker:
             guard += 1
             if guard > 10_000:
                 raise ConvergenceError("path tracking exceeded the iteration guard")
-            system = self.system_builder(t, self.degree)
+            system = self._build_system(t)
             initials = [
                 [PowerSeries.constant(v, self.degree) for v in values[index]]
                 for index in active

@@ -34,7 +34,10 @@ class PolynomialSystem:
         The equations; all must share dimension and truncation degree.
     mode:
         Execution mode of the underlying :class:`repro.core.SystemEvaluator`
-        (``"reference"``, ``"staged"``, ``"parallel"`` or ``"gpu"``).
+        (``"reference"``, ``"staged"``, ``"parallel"``, ``"gpu"`` or the
+        tensorized ``"vectorized"`` backend, which sweeps whole fused layers
+        as NumPy multidouble calls and falls back to ``"staged"`` for exact
+        and complex coefficient rings).
     device, workers, cache:
         Forwarded to the system evaluator (GPU timing device, thread count,
         schedule cache; the default cache is process-wide).
@@ -93,6 +96,25 @@ class PolynomialSystem:
     def cache_stats(self) -> dict:
         """Hit/miss accounting of the schedule cache behind this system."""
         return self.evaluator.cache_stats()
+
+    def with_mode(self, mode: str | None) -> "PolynomialSystem":
+        """This system re-targeted at another execution mode.
+
+        Shares the polynomials, device, workers and schedule cache, so the
+        switch costs one cache hit — this is what lets Newton and the path
+        tracker steer structurally identical systems onto the vectorized
+        backend without restaging anything.  ``None`` or the current mode
+        return ``self``.
+        """
+        if mode is None or mode == self.mode:
+            return self
+        return PolynomialSystem(
+            self.polynomials,
+            mode=mode,
+            device=self.evaluator.device,
+            workers=self.evaluator.workers,
+            cache=self.evaluator.cache,
+        )
 
     def map(
         self, func: Callable[[Polynomial], Polynomial], mode: str | None = None

@@ -23,6 +23,7 @@ from .complexmd import ComplexMD, ComplexMDArray
 from .opcounts import OpCounts, PAPER_OPCOUNTS, modelled_opcounts, opcounts_for, measure_opcounts
 from .veft import vec_two_sum, vec_quick_two_sum, vec_two_prod, vec_split, vec_two_sqr
 from .vrenorm import vec_renormalize, vecsum_sweep
+from .vecops import md_add_rows, md_mul_rows, md_scale_rows
 
 __all__ = [
     "two_sum",
@@ -56,4 +57,7 @@ __all__ = [
     "vec_two_sqr",
     "vec_renormalize",
     "vecsum_sweep",
+    "md_add_rows",
+    "md_mul_rows",
+    "md_scale_rows",
 ]

@@ -1,0 +1,90 @@
+"""Whole-array multiple-double arithmetic on limb-component lists.
+
+:class:`repro.md.MDArray` vectorises multiple-double arithmetic over one
+flat vector of values.  The tensorized execution backend
+(:mod:`repro.core.tensor`) needs the same operations over *arbitrarily
+shaped* limb components — e.g. a whole fused layer of series products at
+once, where one component row is a ``(jobs x batch, degree + 1)`` matrix.
+
+The functions here are that generalisation: each operand is a sequence of
+``k`` NumPy arrays (leading limb first) of a common, broadcast-compatible
+shape, and each result is a list of ``k`` arrays holding the renormalised
+multiple-double outcome.  They are built from the same branch-free
+error-free transformations (:mod:`repro.md.veft`) and VecSum distillation
+(:mod:`repro.md.vrenorm`) as :class:`MDArray`, so the numerics match the
+established vectorised stack; with ``limbs == 1`` they collapse to plain
+double arithmetic (the error terms of an EFT round away in one-limb
+renormalisation), which keeps the float ring on the fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .veft import vec_two_prod
+from .vrenorm import vec_renormalize
+
+__all__ = ["md_add_rows", "md_mul_rows", "md_scale_rows"]
+
+
+def _broadcast(components: Sequence[np.ndarray], shape) -> list[np.ndarray]:
+    """Broadcast every limb component to the common result shape."""
+    return [np.broadcast_to(c, shape) for c in components]
+
+
+def md_add_rows(
+    a: Sequence[np.ndarray], b: Sequence[np.ndarray], limbs: int
+) -> list[np.ndarray]:
+    """Elementwise multiple-double sum of two limb-component sequences."""
+    if limbs == 1:
+        return [np.asarray(a[0], dtype=np.float64) + b[0]]
+    shape = np.broadcast_shapes(np.shape(a[0]), np.shape(b[0]))
+    return vec_renormalize(_broadcast(a, shape) + _broadcast(b, shape), limbs)
+
+
+def md_mul_rows(
+    a: Sequence[np.ndarray], b: Sequence[np.ndarray], limbs: int
+) -> list[np.ndarray]:
+    """Elementwise multiple-double product of two limb-component sequences.
+
+    Exact partial products are kept for the significant diagonals
+    (``i + j < limbs`` via :func:`repro.md.veft.vec_two_prod`, the
+    ``i + j == limbs`` diagonal as a plain product), mirroring
+    :meth:`repro.md.MDArray.__mul__`; deeper diagonals fall below the ulp of
+    the last limb.
+    """
+    if limbs == 1:
+        return [np.asarray(a[0], dtype=np.float64) * b[0]]
+    terms: list[np.ndarray] = []
+    for i in range(limbs):
+        for j in range(limbs):
+            if i + j < limbs:
+                p, e = vec_two_prod(a[i], b[j])
+                terms.append(p)
+                terms.append(e)
+            elif i + j == limbs:
+                terms.append(np.asarray(a[i], dtype=np.float64) * b[j])
+    shape = np.broadcast_shapes(np.shape(a[0]), np.shape(b[0]))
+    return vec_renormalize(_broadcast(terms, shape), limbs)
+
+
+def md_scale_rows(
+    a: Sequence[np.ndarray], factor: np.ndarray, limbs: int
+) -> list[np.ndarray]:
+    """Multiply limb components by a plain-double factor array, exactly.
+
+    Every limb-times-factor product is split into product and error with one
+    error-free transformation before renormalising, so integer scale factors
+    (the exponent jobs of the schedules) cost no accuracy.
+    """
+    if limbs == 1:
+        return [np.asarray(a[0], dtype=np.float64) * factor]
+    terms: list[np.ndarray] = []
+    for row in a:
+        p, e = vec_two_prod(row, factor)
+        terms.append(p)
+        terms.append(e)
+    shape = np.broadcast_shapes(np.shape(a[0]), np.shape(factor))
+    return vec_renormalize(_broadcast(terms, shape), limbs)

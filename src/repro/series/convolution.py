@@ -101,15 +101,24 @@ def convolve_vectorized(x: MDArray, y: MDArray) -> MDArray:
     Every renormalisation therefore works on whole limb rows; the
     accumulation order per output coefficient (increasing ``j``) matches
     :func:`convolve_direct`, which the Fraction-oracle parity tests rely on.
+
+    Unlike :func:`convolve_direct`, the operands may be truncated at
+    *different* degrees: the shorter operand counts as zero-extended and the
+    result is truncated at ``max(degree(x), degree(y))`` — the same
+    coefficients :func:`convolve_direct` produces on the zero-padded
+    operands.  The precisions must still agree.
     """
-    if x.size != y.size or x.limbs != y.limbs:
-        raise ValueError("operands must share degree and precision")
-    d = x.size - 1
-    out = MDArray.zeros(x.size, x.limbs)
-    for j in range(d + 1):
-        products = MDArray(y.data[:, : d + 1 - j]) * x[j]
-        tail = MDArray(out.data[:, j:]) + products
-        out.data[:, j:] = tail.data
+    if x.limbs != y.limbs:
+        raise ValueError("operands must share precision")
+    n = max(x.size, y.size)
+    out = MDArray.zeros(n, x.limbs)
+    for j in range(x.size):
+        width = min(y.size, n - j)
+        if width <= 0:
+            break
+        products = MDArray(y.data[:, :width]) * x[j]
+        tail = MDArray(out.data[:, j : j + width]) + products
+        out.data[:, j : j + width] = tail.data
     return out
 
 

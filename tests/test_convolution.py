@@ -6,7 +6,7 @@ from fractions import Fraction
 
 import pytest
 
-from repro.md import MDArray
+from repro.md import MDArray, MultiDouble
 from repro.series import (
     MDSeries,
     add_coefficients,
@@ -73,11 +73,35 @@ class TestVectorizedConvolution:
             diff = abs((vec[k] - scalar[k]).to_fraction())
             assert diff < Fraction(2) ** (-52 * limbs + 10)
 
-    def test_shape_validation(self, nprng):
-        with pytest.raises(ValueError):
-            convolve_vectorized(MDArray.random(3, 2, nprng), MDArray.random(4, 2, nprng))
+    def test_precision_mismatch_rejected(self, nprng):
         with pytest.raises(ValueError):
             convolve_vectorized(MDArray.random(3, 2, nprng), MDArray.random(3, 4, nprng))
+
+    @pytest.mark.parametrize("sizes", ((3, 7), (7, 3), (1, 5), (6, 6)))
+    def test_mixed_degrees_match_zero_padded_direct(self, sizes, nprng):
+        """Operands of different truncation degrees: zero-extend the shorter.
+
+        The result is truncated at the larger degree and must match
+        ``convolve_direct`` on the explicitly zero-padded operands, which is
+        the semantics the docstring promises.
+        """
+        nx, ny = sizes
+        limbs = 2
+        x = MDArray.random(nx, limbs, nprng)
+        y = MDArray.random(ny, limbs, nprng)
+        vec = convolve_vectorized(x, y)
+        n = max(nx, ny)
+        assert vec.size == n
+
+        def padded(arr):
+            out = [MultiDouble.zero(limbs)] * n
+            values = arr.to_multidoubles()
+            return values + out[len(values):]
+
+        scalar = convolve_direct(padded(x), padded(y))
+        for k in range(n):
+            diff = abs((vec[k] - scalar[k]).to_fraction())
+            assert diff < Fraction(2) ** (-52 * limbs + 10)
 
     def test_mdseries_multiplication(self, nprng):
         a = MDSeries.random(6, 3, nprng)

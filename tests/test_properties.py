@@ -95,7 +95,11 @@ class TestMultiDoubleProperties:
     def test_distributivity_within_tolerance(self, a, b, c):
         lhs = (a * (b + c)).to_fraction()
         rhs = (a * b + a * c).to_fraction()
-        scale = max(abs(lhs), abs(rhs), Fraction(1))
+        # The rounding happens at the scale of the intermediate products, so
+        # that magnitude must bound the error: with b ~ -c both sides cancel
+        # to ~0 while a*b and a*c each round at |a|*|b| ulps.
+        fa, fb, fc = a.to_fraction(), b.to_fraction(), c.to_fraction()
+        scale = max(abs(lhs), abs(rhs), abs(fa) * (abs(fb) + abs(fc)), Fraction(1))
         assert abs(lhs - rhs) / scale < Fraction(2) ** (-52 * 4 + 12)
 
     @SETTINGS
