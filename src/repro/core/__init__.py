@@ -15,13 +15,18 @@ from .system import (
     system_structure_key,
 )
 from .tensor import (
+    ComplexSlotTensor,
     SlotTensor,
     TensorLayer,
     TensorProgram,
     compile_tensor_program,
     convolve_rows,
+    convolve_rows_complex,
     infer_ring,
+    join_rings,
+    make_tensor,
 )
+from .context import EvalContext
 
 __all__ = [
     "ConvolutionJob",
@@ -46,9 +51,14 @@ __all__ = [
     "fuse_schedules",
     "system_structure_key",
     "SlotTensor",
+    "ComplexSlotTensor",
     "TensorLayer",
     "TensorProgram",
     "compile_tensor_program",
     "convolve_rows",
+    "convolve_rows_complex",
     "infer_ring",
+    "join_rings",
+    "make_tensor",
+    "EvalContext",
 ]

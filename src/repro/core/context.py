@@ -1,0 +1,351 @@
+"""Resident evaluation contexts: pack once, sweep many times.
+
+The per-call flow of :meth:`repro.core.SystemEvaluator.evaluate_batch` packs
+the whole fused slot array into a limb tensor, runs the compiled program and
+unpacks every requested output — for *every* call.  Newton's method and path
+tracking call it once per iteration with inputs that differ only in the
+variable slots, so almost all of that packing is repeated work; on a real
+device it would be a full host-to-device transfer per step.
+
+:class:`EvalContext` is the host-side analogue of GPU device residency:
+
+* :meth:`EvalContext.update_inputs` packs the slot tensor **once** (on the
+  first call) and afterwards updates, in place, only the rows that can
+  change between sweeps — the variable slots, plus the adjusted-coefficient
+  slots of non-multilinear monomials;
+* :meth:`EvalContext.run` re-zeroes the product region (one whole-array
+  store), executes the compiled :class:`repro.core.tensor.TensorProgram` on
+  the resident tensor, and unpacks only the requested outputs (full
+  value + gradient results, or values only for residual checks);
+* :meth:`EvalContext.rebind` re-targets the context at a *structurally
+  identical* system (a path tracker's next local system): the system's
+  constant/coefficient rows are rewritten in place on the next update, and
+  nothing is repacked.
+
+Every execution mode exposes the same interface, so Newton and the path
+tracker are mode-agnostic: ``staged``/``parallel``/``gpu``/``reference``
+contexts (and vectorized contexts over rings the tensor backend cannot
+carry, i.e. exact fractions) delegate each run to the evaluator's per-call
+path.  A ``gpu`` context additionally annotates each run with the resident
+transfer cost predicted by :meth:`repro.gpusim.TimingModel.transfer_ms` —
+the first run ships the whole input region, subsequent runs only the
+variable slots.
+
+A context run is bit-identical to the corresponding per-call
+``evaluate_batch``: the product region is re-zeroed before every sweep, so
+the resident tensor starts each run in exactly the state a fresh pack would
+produce.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..circuits.powers import PowerTable
+from ..circuits.reference import EvaluationResult
+from ..errors import StagingError
+from ..series.series import PowerSeries
+from .tensor import infer_ring, join_rings, make_tensor
+
+__all__ = ["EvalContext"]
+
+
+class EvalContext:
+    """Resident evaluation state of one system at a fixed batch size.
+
+    Build one through :meth:`repro.core.SystemEvaluator.make_context` (or
+    :meth:`repro.homotopy.PolynomialSystem.make_context`), then alternate
+    :meth:`update_inputs` and :meth:`run`.  ``packs`` counts how many times
+    the full slot tensor was packed — exactly one for a whole resident
+    Newton run, which the test suite asserts.
+    """
+
+    def __init__(self, evaluator, batch: int):
+        if batch < 1:
+            raise StagingError(f"an evaluation context needs batch >= 1, got {batch}")
+        self._evaluator = evaluator
+        self._batch = int(batch)
+        #: None while the tensorized fast path is (still) possible; the name
+        #: of the per-call mode every run delegates to otherwise.
+        self._delegate_to = None if evaluator.mode == "vectorized" else evaluator.mode
+        self._zs: list[list[PowerSeries]] | None = None
+        self._tensor = None
+        self._program = None
+        self._ring: tuple[str, int] | None = None
+        self._system_dirty = False
+        self._packs = 0
+        self._runs = 0
+        # Row indices of the resident tensor, filled at pack time.
+        self._var_rows: list[np.ndarray] | None = None
+        self._work_rows: np.ndarray | None = None
+        self._adjusted: list[tuple[int, int, int]] = []
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def evaluator(self):
+        return self._evaluator
+
+    @property
+    def batch(self) -> int:
+        return self._batch
+
+    @property
+    def packs(self) -> int:
+        """How many times the whole slot tensor was packed (1 when resident)."""
+        return self._packs
+
+    @property
+    def runs(self) -> int:
+        """How many sweeps this context has executed."""
+        return self._runs
+
+    @property
+    def resident(self) -> bool:
+        """True when runs execute on the resident tensor (no delegation)."""
+        return self._delegate_to is None and self._tensor is not None
+
+    def __repr__(self) -> str:
+        target = "resident" if self.resident else (self._delegate_to or "unpacked")
+        return (
+            f"EvalContext(batch={self._batch}, mode={self._evaluator.mode!r}, "
+            f"{target}, packs={self._packs}, runs={self._runs})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # input updates
+    # ------------------------------------------------------------------ #
+    def update_inputs(self, zs: Sequence[Sequence[PowerSeries]]) -> None:
+        """Load a batch of input vectors, packing at most once.
+
+        The first call packs the full fused slot array (and decides the
+        tensor ring from the system and input coefficients); every later
+        call writes only the input rows that can change — variable slots,
+        non-multilinear adjusted coefficients, and (after a
+        :meth:`rebind`) the system's constant/coefficient rows.
+        """
+        zs = [list(z) for z in zs]
+        if len(zs) != self._batch:
+            raise StagingError(
+                f"this context is resident for batch {self._batch}, got {len(zs)} inputs"
+            )
+        for z in zs:
+            self._evaluator._check_inputs(z)
+        self._zs = zs
+        if self._delegate_to is not None:
+            return
+        if self._tensor is not None:
+            # The resident tensor can only carry rings it was packed for; a
+            # wider input ring (more limbs, or complex data into a real
+            # tensor) forces a repack so the results stay bit-identical to
+            # the per-call evaluate_batch.  Newton and path tracking keep
+            # one ring throughout, so this never triggers on the hot path.
+            input_ring = infer_ring(series for z in zs for series in z)
+            if input_ring is None or join_rings(input_ring, self._ring) != self._ring:
+                self._tensor = None
+        if self._tensor is None:
+            self._pack(zs)
+            return
+        if self._system_dirty:
+            self._rewrite_system_rows()
+            self._system_dirty = False
+        tensor = self._tensor
+        stride = self._evaluator.fused.total_slots
+        dimension = self._evaluator.dimension
+        polynomials = self._evaluator.polynomials
+        for b, z in enumerate(zs):
+            base = b * stride
+            for variable in range(dimension):
+                tensor.write_series(self._var_rows[variable] + base, z[variable])
+            if self._adjusted:
+                table = PowerTable(z)
+                for equation, monomial_index, row in self._adjusted:
+                    monomial = polynomials[equation].monomials[monomial_index]
+                    adjusted, _, _ = monomial.split_common_factor(z, table)
+                    tensor.write_series((base + row,), adjusted)
+
+    def _pack(self, zs: list[list[PowerSeries]]) -> None:
+        """First-time packing: choose the ring, pack, compile, index rows."""
+        evaluator = self._evaluator
+        system_ring = evaluator._ring_of_system()
+        input_ring = infer_ring(series for z in zs for series in z) if system_ring else None
+        if system_ring is None or input_ring is None:
+            # A ring the tensor cannot carry (exact fractions): every run of
+            # this context delegates to the staged oracle path.
+            self._delegate_to = "staged"
+            return
+        kind, limbs = join_rings(system_ring, input_ring)
+        all_slots = evaluator._prepare_batch_slots(zs)
+        self._tensor = make_tensor(all_slots, kind=kind, limbs=limbs)
+        self._ring = (kind, limbs)
+        self._packs += 1
+        from .tensor import compile_tensor_program
+
+        self._program = evaluator.cache.get(
+            (evaluator._structure_key, "tensor-program"),
+            lambda: compile_tensor_program(evaluator.fused),
+        )
+        self._index_rows()
+
+    def _index_rows(self) -> None:
+        """Precompute the per-instance row indices the updates touch."""
+        fused = self._evaluator.fused
+        var_rows: list[list[int]] = [[] for _ in range(fused.dimension)]
+        work: list[np.ndarray] = []
+        adjusted: list[tuple[int, int, int]] = []
+        for equation, (offset, schedule) in enumerate(zip(fused.offsets, fused.schedules)):
+            layout = schedule.layout
+            for variable in range(fused.dimension):
+                var_rows[variable].append(offset + layout.variable_slot(variable))
+            work.append(offset + np.arange(layout.forward_base, layout.total_slots))
+            polynomial = self._evaluator.polynomials[equation]
+            for k, monomial in enumerate(polynomial.monomials):
+                if not monomial.is_multilinear:
+                    adjusted.append((equation, k, offset + layout.coefficient_slot(k)))
+        self._var_rows = [np.asarray(rows, dtype=np.int64) for rows in var_rows]
+        bases = (np.arange(self._batch, dtype=np.int64) * fused.total_slots)[:, None]
+        per_instance = np.concatenate(work).astype(np.int64)
+        self._work_rows = (per_instance[None, :] + bases).reshape(-1)
+        self._adjusted = adjusted
+
+    def _rewrite_system_rows(self) -> None:
+        """Write the (rebound) system's input-region series rows in place.
+
+        Constant and multilinear-coefficient slots are input-independent, so
+        one :meth:`write_series` per series covers all batch instances at
+        once; non-multilinear adjusted coefficients are refreshed by
+        :meth:`update_inputs` anyway.
+        """
+        fused = self._evaluator.fused
+        bases = np.arange(self._batch, dtype=np.int64) * fused.total_slots
+        for offset, schedule, polynomial in zip(
+            fused.offsets, fused.schedules, self._evaluator.polynomials
+        ):
+            layout = schedule.layout
+            self._tensor.write_series(
+                bases + (offset + layout.constant_slot()), polynomial.constant
+            )
+            for k, monomial in enumerate(polynomial.monomials):
+                if monomial.is_multilinear:
+                    self._tensor.write_series(
+                        bases + (offset + layout.coefficient_slot(k)),
+                        monomial.coefficient,
+                    )
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(self, values_only: bool = False):
+        """One sweep over the resident inputs.
+
+        Returns the same nested ``[instance][equation]`` result lists as
+        :meth:`repro.core.SystemEvaluator.evaluate_batch`.  With
+        ``values_only`` the gradient rows are not unpacked at all (the
+        results carry empty gradients) — the cheap shape for Newton residual
+        checks.  Delegating contexts strip gradients the same way, so
+        callers stay mode-agnostic.
+        """
+        if self._zs is None:
+            raise StagingError("EvalContext.run called before update_inputs")
+        if self._delegate_to is not None:
+            return self._delegate(values_only)
+        if self._system_dirty:
+            self._rewrite_system_rows()
+            self._system_dirty = False
+        tensor = self._tensor
+        tensor.zero_rows(self._work_rows)
+        self._program.run(tensor, self._batch)
+        self._runs += 1
+        evaluator = self._evaluator
+        kind, limbs = self._ring
+        metadata = {
+            "mode": "vectorized",
+            "ring": kind,
+            "limbs": limbs,
+            "batch": self._batch,
+            "convolution_jobs": evaluator.fused.convolution_job_count,
+            "addition_jobs": evaluator.fused.addition_job_count,
+            "launches": self._program.launches,
+            "resident_runs": self._runs,
+            "packs": self._packs,
+        }
+        return evaluator._collect_vectorized(
+            tensor, self._batch, metadata, values_only=values_only
+        )
+
+    def _delegate(self, values_only: bool):
+        """Run through the evaluator's per-call mode dispatch (non-tensor
+        modes and ring fallbacks), so delegated runs cannot drift from
+        :meth:`repro.core.SystemEvaluator.evaluate_batch`."""
+        results = self._evaluator._dispatch(self._zs, mode=self._delegate_to)
+        self._runs += 1
+        if self._delegate_to == "gpu":
+            self._annotate_gpu_residency(results)
+        if values_only:
+            results = [
+                [
+                    EvaluationResult(value=r.value, gradient=[], metadata=r.metadata)
+                    for r in row
+                ]
+                for row in results
+            ]
+        return results
+
+    def _annotate_gpu_residency(self, results) -> None:
+        """Attach the resident H2D transfer cost of this run to the metadata.
+
+        Run 1 ships every input slot of every instance; later runs re-send
+        only the variable slots (the series that changed), which is the
+        device-residency saving :meth:`repro.gpusim.TimingModel.predict_resident`
+        models for whole schedules.
+        """
+        from ..gpusim.timing import TimingModel
+
+        fused = self._evaluator.fused
+        limbs = results[0][0].metadata.get("precision_limbs", 2)
+        model = TimingModel(device=self._evaluator.device, precision=limbs)
+        input_series = fused.input_slot_count * self._batch
+        update_series = fused.variable_slot_count * self._batch
+        n_series = input_series if self._runs == 1 else update_series
+        transfer_ms = model.transfer_ms(n_series, fused.degree)
+        for row in results:
+            for result in row:
+                result.metadata["resident_transfer"] = {
+                    "run": self._runs,
+                    "series": n_series,
+                    "h2d_ms": transfer_ms,
+                }
+
+    # ------------------------------------------------------------------ #
+    # rebinding (path tracking: next local system, same structure)
+    # ------------------------------------------------------------------ #
+    def rebind(self, evaluator) -> "EvalContext":
+        """Re-target the context at a structurally identical evaluator.
+
+        The resident tensor and compiled program survive; the new system's
+        constant/coefficient rows are rewritten in place on the next update.
+        If the new system needs a wider ring than the tensor carries (or an
+        unsupported one), the tensor is dropped and the next update packs —
+        or falls back — afresh.
+        """
+        if evaluator is self._evaluator:
+            return self
+        if evaluator._structure_key != self._evaluator._structure_key:
+            raise StagingError(
+                "EvalContext.rebind needs a structurally identical system"
+            )
+        self._evaluator = evaluator
+        self._delegate_to = None if evaluator.mode == "vectorized" else evaluator.mode
+        if self._delegate_to is None and self._tensor is not None:
+            system_ring = evaluator._ring_of_system()
+            if system_ring is None or join_rings(system_ring, self._ring) != self._ring:
+                self._tensor = None
+                self._program = None
+                self._ring = None
+            else:
+                self._system_dirty = True
+        self._zs = None
+        return self

@@ -74,12 +74,17 @@ class ScheduleCache:
     tuple of :meth:`repro.circuits.Polynomial.structure_key` values of the
     system's equations.  The cache is safe to share between evaluators *and*
     between threads (the module-level default instance is visible to the
-    worker threads of the parallel mode): every lookup holds a re-entrant
-    lock, including around the builder call, so one structure is staged at
-    most once no matter how many threads race on it.  A module-level default
-    instance (:func:`default_schedule_cache`) is what makes repeated Newton
-    steps — which rebuild structurally identical systems at every parameter
-    value — pay the staging cost exactly once.
+    worker threads of the parallel mode).  Builds are serialised **per
+    key**: a short map lock guards the entry table, and each missing key
+    gets its own build lock, so one structure is staged at most once no
+    matter how many threads race on it — while hits and builds of
+    *unrelated* structures never wait on an in-flight build.  The per-key
+    build locks are re-entrant so a builder may itself consult the cache
+    (the vectorized mode compiles its tensor program from the fused schedule
+    it just fetched).  A module-level default instance
+    (:func:`default_schedule_cache`) is what makes repeated Newton steps —
+    which rebuild structurally identical systems at every parameter value —
+    pay the staging cost exactly once.
     """
 
     def __init__(self, maxsize: int = 128):
@@ -89,16 +94,20 @@ class ScheduleCache:
         self.hits = 0
         self.misses = 0
         self._entries: OrderedDict[tuple, object] = OrderedDict()
-        # Re-entrant so a builder may itself consult the cache (the
-        # vectorized mode compiles its tensor program from the fused
-        # schedule it just fetched).
-        self._lock = threading.RLock()
+        # Guards the entry table and counters only — never held across a
+        # builder call.
+        self._lock = threading.Lock()
+        # One lock per key currently being built; dropped once the entry
+        # lands so the table does not grow with the key space.
+        self._build_locks: dict[tuple, threading.RLock] = {}
 
     def get(self, key: tuple, builder: Callable[[], object]):
         """Return the cached value for ``key``, building (and storing) on miss.
 
         Any builder result is cacheable — a legitimately ``None``-valued
-        entry is a hit on the next lookup, not a permanent miss.
+        entry is a hit on the next lookup, not a permanent miss.  A failing
+        builder releases its build lock without storing anything, so the
+        next lookup retries the build.
         """
         with self._lock:
             entry = self._entries.get(key, _CACHE_MISS)
@@ -106,17 +115,44 @@ class ScheduleCache:
                 self.hits += 1
                 self._entries.move_to_end(key)
                 return entry
-            self.misses += 1
+            build_lock = self._build_locks.setdefault(key, threading.RLock())
+        with build_lock:
+            with self._lock:
+                # Double check: another thread may have finished this build
+                # while we waited on its lock.
+                entry = self._entries.get(key, _CACHE_MISS)
+                if entry is not _CACHE_MISS:
+                    self.hits += 1
+                    self._entries.move_to_end(key)
+                    return entry
+            # On failure the build lock deliberately stays in the map: other
+            # threads already queued on this lock object retry under it, and
+            # popping it here would let a newcomer setdefault a second lock
+            # and build the same key concurrently.  The lock is dropped once
+            # a build succeeds (below) or the cache is cleared, so it can
+            # linger only for keys whose builds keep failing.
             entry = builder()
-            self._entries[key] = entry
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+            with self._lock:
+                self.misses += 1
+                self._entries[key] = entry
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+                self._build_locks.pop(key, None)
             return entry
 
     def clear(self) -> None:
-        """Drop all entries and reset the hit/miss counters."""
+        """Drop all entries and reset the hit/miss counters.
+
+        ``clear`` does not wait for in-flight builds (it would otherwise
+        block on every build lock): a builder that is mid-flight when the
+        cache is cleared stores its entry — and counts its miss — after the
+        reset.  Callers that read ``stats()`` right after ``clear()`` should
+        quiesce their own builder threads first.
+        """
         with self._lock:
             self._entries.clear()
+            self._build_locks.clear()
             self.hits = 0
             self.misses = 0
 
@@ -214,6 +250,26 @@ class FusedSystemSchedule:
         for offset, schedule in zip(self.offsets, self.schedules):
             for slot in range(schedule.layout.forward_base):
                 yield offset + slot
+
+    @property
+    def input_slot_count(self) -> int:
+        """Input-region slots per instance (constants + coefficients + variables).
+
+        The series one full host-to-device transfer ships; the single source
+        for the resident-transfer accounting of
+        :meth:`repro.gpusim.TimingModel.predict_resident` and the gpu-mode
+        evaluation contexts.
+        """
+        return sum(schedule.layout.forward_base for schedule in self.schedules)
+
+    @property
+    def variable_slot_count(self) -> int:
+        """Variable slots per instance (one per variable per equation).
+
+        The only input series Newton changes between resident sweeps, hence
+        the per-step payload of the resident transfer model.
+        """
+        return self.dimension * len(self.schedules)
 
     def summary(self) -> dict:
         """Headline statistics of the fused schedule."""
@@ -332,9 +388,10 @@ class SystemEvaluator:
         the *fused* schedule — or ``"vectorized"``, the tensorized backend
         of :mod:`repro.core.tensor` that executes every fused layer as a
         handful of whole-layer NumPy multidouble sweeps.  The vectorized
-        mode covers real coefficient rings (doubles and
-        :class:`repro.md.MultiDouble` of any precision); batches in any
-        other ring (fractions, complexes) transparently fall back to the
+        mode covers doubles, :class:`repro.md.MultiDouble` of any
+        precision, plain complexes and :class:`repro.md.ComplexMD`
+        (complex data runs on paired real/imaginary limb planes); batches
+        in any other ring (exact fractions) transparently fall back to the
         staged path, which keeps its oracle role.
     device:
         Device spec or preset name for the ``gpu`` mode's timing model.
@@ -414,16 +471,43 @@ class SystemEvaluator:
             self._check_inputs(z)
         if not zs:
             return []
-        if self.mode == "reference":
+        return self._dispatch(zs)
+
+    def _dispatch(
+        self, zs: Sequence[Sequence[PowerSeries]], mode: str | None = None
+    ) -> list[list[EvaluationResult]]:
+        """Route checked inputs to one mode's execution path.
+
+        The single mode switch, shared by :meth:`evaluate_batch` and the
+        delegating runs of :class:`repro.core.EvalContext` (which pass the
+        ``mode`` override — e.g. ``"staged"`` for a vectorized context whose
+        ring fell back), so the two entry points cannot drift.
+        """
+        mode = self.mode if mode is None else mode
+        if mode == "reference":
             return [
                 [evaluate_reference(polynomial, z) for polynomial in self.polynomials]
                 for z in zs
             ]
-        if self.mode == "gpu":
+        if mode == "gpu":
             return self._evaluate_gpu(zs)
-        if self.mode == "vectorized":
+        if mode == "vectorized":
             return self._evaluate_vectorized(zs)
-        return self._evaluate_staged(zs, parallel=(self.mode == "parallel"))
+        return self._evaluate_staged(zs, parallel=(mode == "parallel"))
+
+    def make_context(self, batch: int) -> "EvalContext":
+        """A resident :class:`repro.core.EvalContext` for ``batch`` instances.
+
+        The context packs the fused slot tensor once, updates only the input
+        slots on later sweeps and unpacks only requested outputs — the
+        host-side analogue of keeping the data array resident on the device
+        across Newton iterations and path steps.  Every mode supports the
+        interface (non-tensor modes delegate each run to their per-call
+        path), so callers are mode-agnostic.
+        """
+        from .context import EvalContext
+
+        return EvalContext(self, batch)
 
     def job_summary(self) -> dict:
         """Fused schedule statistics."""
@@ -556,54 +640,37 @@ class SystemEvaluator:
     ) -> list[list[EvaluationResult]]:
         """One whole-layer NumPy sweep over the packed slot tensor.
 
-        The fused slot array of the entire batch is packed into one
-        :class:`repro.core.tensor.SlotTensor` limb tensor, the fused
-        schedule is compiled once per structure into a
-        :class:`repro.core.tensor.TensorProgram` (memoised in the schedule
-        cache next to the fused schedule), and every fused layer executes as
-        a few vectorised multidouble calls — one "launch" per layer instead
-        of one Python call per job.  Coefficient rings the tensor cannot
-        carry (fractions, complexes) fall back to the staged object path;
-        the returned metadata then reports ``mode="staged"``.
+        Implemented as a one-shot :class:`repro.core.EvalContext`: the fused
+        slot array of the entire batch is packed into one limb tensor (real
+        :class:`repro.core.tensor.SlotTensor` or paired-plane
+        :class:`repro.core.tensor.ComplexSlotTensor`, chosen by the joined
+        coefficient ring), the fused schedule is compiled once per structure
+        into a :class:`repro.core.tensor.TensorProgram` (memoised in the
+        schedule cache next to the fused schedule), and every fused layer
+        executes as a few vectorised multidouble calls — one "launch" per
+        layer instead of one Python call per job.  Clients that sweep
+        repeatedly should hold the context themselves
+        (:meth:`make_context`) so the packing happens once, not per call.
+        Coefficient rings the tensor cannot carry (exact fractions) fall
+        back to the staged object path; the returned metadata then reports
+        ``mode="staged"``.
         """
-        from .tensor import SlotTensor, compile_tensor_program, infer_ring
+        from .context import EvalContext
 
-        system_ring = self._ring_of_system()
-        input_ring = (
-            infer_ring(series for z in zs for series in z) if system_ring else None
-        )
-        if system_ring is None or input_ring is None:
-            return self._evaluate_staged(zs, parallel=False)
-        kind = "md" if "md" in (system_ring[0], input_ring[0]) else "float"
-        limbs = max(system_ring[1], input_ring[1])
-        batch = len(zs)
-        all_slots = self._prepare_batch_slots(zs)
-        tensor = SlotTensor.pack(all_slots, limbs=limbs, ring=kind)
-        program = self.cache.get(
-            (self._structure_key, "tensor-program"),
-            lambda: compile_tensor_program(self.fused),
-        )
-        program.run(tensor, batch)
-        metadata = {
-            "mode": "vectorized",
-            "ring": kind,
-            "limbs": limbs,
-            "batch": batch,
-            "convolution_jobs": self.fused.convolution_job_count,
-            "addition_jobs": self.fused.addition_job_count,
-            "launches": program.launches,
-        }
-        return self._collect_vectorized(tensor, batch, metadata)
+        context = EvalContext(self, len(zs))
+        context.update_inputs(zs)
+        return context.run()
 
     def _collect_vectorized(
-        self, tensor, batch: int, metadata: dict
+        self, tensor, batch: int, metadata: dict, values_only: bool = False
     ) -> list[list[EvaluationResult]]:
         """Scatter only the value/gradient rows back into series results.
 
         The fused schedule's public output maps (``value_slots``,
         ``gradient_slots``) point straight at the rows that matter, so the
         readback touches one row per output series instead of unpacking the
-        whole tensor.
+        whole tensor — and with ``values_only`` skips the gradient rows
+        entirely (the results carry empty gradients).
         """
         fused = self.fused
         stride = fused.total_slots
@@ -613,13 +680,16 @@ class SystemEvaluator:
             base = b * stride
             instance: list[EvaluationResult] = []
             for equation in range(fused.n_equations):
-                gradient_map = fused.gradient_slots[equation]
-                gradient = [
-                    tensor.series_at(base + gradient_map[variable])
-                    if variable in gradient_map
-                    else zero.copy()
-                    for variable in range(self.dimension)
-                ]
+                if values_only:
+                    gradient: list[PowerSeries] = []
+                else:
+                    gradient_map = fused.gradient_slots[equation]
+                    gradient = [
+                        tensor.series_at(base + gradient_map[variable])
+                        if variable in gradient_map
+                        else zero.copy()
+                        for variable in range(self.dimension)
+                    ]
                 instance.append(
                     EvaluationResult(
                         value=tensor.series_at(base + fused.value_slots[equation]),

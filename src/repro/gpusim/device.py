@@ -52,6 +52,14 @@ class DeviceSpec:
     #: Additional host-side cost per job (index triplet staging), in
     #: microseconds.
     per_job_overhead_us: float = 0.12
+    #: Effective host-to-device copy bandwidth (GB/s).  All five devices sit
+    #: on PCIe 3.0 x16, whose ~12 GB/s effective rate dwarfs none of the
+    #: kernels but dominates repeated input repacking — the cost the
+    #: resident evaluation contexts avoid (see
+    #: :meth:`repro.gpusim.TimingModel.predict_resident`).
+    h2d_bandwidth_gb_s: float = 12.0
+    #: Fixed latency of one host-to-device copy call, in microseconds.
+    h2d_latency_us: float = 10.0
 
     @property
     def cores(self) -> int:

@@ -22,7 +22,13 @@ wall clock) follow.  The ingredients are:
   block, which dominates in plain double precision where the arithmetic is
   almost free;
 * **launch overhead** — a per-launch host cost plus a per-job index-transfer
-  cost, included in the wall clock only.
+  cost, included in the wall clock only;
+* **host-to-device transfers** — input series cross PCIe at the device's
+  effective copy bandwidth; :meth:`TimingModel.predict_resident` accounts a
+  *resident* batched run (the device analogue of
+  :class:`repro.core.EvalContext`), where the full input region ships once
+  and every later step re-sends only the variable slots instead of
+  repacking the whole slot tensor.
 
 The shared-memory capacity check reproduces the paper's degree ceiling
 (degree 152 in deca-double precision).
@@ -75,6 +81,21 @@ class TimingModel:
 
     def _overhead_ms(self, blocks: int) -> float:
         return self.device.launch_overhead_ms + blocks * self.device.per_job_overhead_us * 1.0e-3
+
+    def transfer_ms(self, n_series: int, degree: int, planes: int = 1) -> float:
+        """Host-to-device copy time of ``n_series`` series (one copy call).
+
+        Each series carries ``(degree + 1)`` coefficients of ``limbs``
+        doubles; ``planes = 2`` accounts complex data (separate real and
+        imaginary limb planes, twice the payload).
+        """
+        if n_series <= 0:
+            return 0.0
+        bytes_moved = n_series * (degree + 1) * 8 * self.limbs * planes
+        return (
+            self.device.h2d_latency_us * 1.0e-3
+            + bytes_moved / (self.device.h2d_bandwidth_gb_s * 1.0e9) * 1.0e3
+        )
 
     def convolution_launch(self, blocks: int, degree: int, layer: int = 1) -> KernelLaunchTiming:
         """Predicted timing of one convolution kernel launch of ``blocks`` blocks."""
@@ -142,6 +163,56 @@ class TimingModel:
             if blocks:
                 report.add(self.addition_launch(blocks * batch, degree, layer))
         return report
+
+    def predict_resident(
+        self,
+        schedule,
+        batch: int = 1,
+        steps: int = 1,
+        update_slots: int | None = None,
+        planes: int = 1,
+    ) -> dict:
+        """Timing of ``steps`` resident sweeps of a fused batched schedule.
+
+        Models the device-side equivalent of a resident
+        :class:`repro.core.EvalContext` driving a Newton run or a path
+        track: the full input region (constants, coefficients, variables of
+        every instance) crosses PCIe **once**, and each later step re-sends
+        only ``update_slots`` series per instance — by default the variable
+        slots, the only inputs Newton changes between iterations.  The
+        returned dictionary also carries the non-resident alternative
+        (``repack_wall_ms``: a full input transfer before every step, the
+        pre-residency behaviour) and the saving between the two.
+
+        ``planes = 2`` accounts complex data (paired real/imaginary limb
+        planes).  ``schedule`` must be a fused
+        :class:`repro.core.FusedSystemSchedule` (it knows its input region).
+        """
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        per_step = self.predict(schedule, batch=batch)
+        input_series = schedule.input_slot_count * batch
+        if update_slots is None:
+            update_slots = schedule.variable_slot_count
+        update_series = update_slots * batch
+        full_ms = self.transfer_ms(input_series, schedule.degree, planes)
+        update_ms = self.transfer_ms(update_series, schedule.degree, planes)
+        resident = steps * per_step.wall_clock_ms + full_ms + (steps - 1) * update_ms
+        repack = steps * (per_step.wall_clock_ms + full_ms)
+        return {
+            "steps": steps,
+            "batch": batch,
+            "planes": planes,
+            "kernel_ms_per_step": per_step.sum_ms,
+            "wall_ms_per_step": per_step.wall_clock_ms,
+            "input_series": input_series,
+            "update_series": update_series,
+            "full_transfer_ms": full_ms,
+            "update_transfer_ms": update_ms,
+            "resident_wall_ms": resident,
+            "repack_wall_ms": repack,
+            "transfer_saved_ms": repack - resident,
+        }
 
     def predict_from_launch_sizes(
         self,

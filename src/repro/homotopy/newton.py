@@ -10,6 +10,14 @@ Starting from the correct constant terms (the solution at ``t = 0``), every
 Newton step doubles the number of correct series coefficients, so
 ``ceil(log2(d + 1))`` steps suffice for a series truncated at degree ``d`` —
 a property the test suite checks explicitly.
+
+Both Newton drivers evaluate through one resident
+:class:`repro.core.EvalContext` held across *all* iterations: the fused slot
+tensor is packed exactly once per refinement, every subsequent iteration
+updates only the input slots in place, and the final residual check unpacks
+values only.  Callers that run many refinements against structurally
+identical systems (the path tracker) can pass their own ``context`` to keep
+even that single pack amortised across steps.
 """
 
 from __future__ import annotations
@@ -51,12 +59,33 @@ class NewtonResult:
         return self.steps[-1].residual if self.steps else float("inf")
 
 
+def _ensure_context(system: PolynomialSystem, batch: int, context):
+    """Reuse a caller-held context when it fits, else make a fresh one.
+
+    A context built for another batch size cannot be reused (the resident
+    tensor is sized for its batch), and one built from a structurally
+    different system cannot be rebound (homotopy builders may legitimately
+    change the monomial structure along the path) — both get a fresh
+    context.  A context from a structurally identical system (a path
+    tracker's previous step) is rebound in place, which keeps its resident
+    tensor.
+    """
+    if (
+        context is None
+        or context.batch != batch
+        or context.evaluator._structure_key != system.evaluator._structure_key
+    ):
+        return system.make_context(batch)
+    return context.rebind(system.evaluator)
+
+
 def newton_power_series(
     system: PolynomialSystem,
     initial: Sequence[PowerSeries],
     max_iterations: int = 8,
     tolerance: float = 0.0,
     raise_on_failure: bool = False,
+    context=None,
 ) -> NewtonResult:
     """Refine a power-series solution of ``system`` by Newton iteration.
 
@@ -76,16 +105,23 @@ def newton_power_series(
     raise_on_failure:
         If True, raise :class:`repro.errors.ConvergenceError` when the
         tolerance is not reached within ``max_iterations``.
+    context:
+        An optional resident :class:`repro.core.EvalContext` (batch 1) to
+        evaluate through — the path tracker passes one so consecutive steps
+        share a single packed tensor.  Without one, a context is created
+        for this refinement, so the whole iteration still packs only once.
     """
     if not system.is_square:
         raise ConvergenceError(
             f"Newton needs a square system, got {system.n_equations} equations "
             f"in {system.dimension} variables"
         )
+    context = _ensure_context(system, 1, context)
     z = [series.copy() for series in initial]
     result = NewtonResult(solution=z)
     for iteration in range(1, max_iterations + 1):
-        evaluations = system.evaluate(z)
+        context.update_inputs([z])
+        evaluations = context.run()[0]
         residual_vector = [e.value for e in evaluations]
         residual = residual_norm(residual_vector)
         if residual <= tolerance:
@@ -98,7 +134,8 @@ def newton_power_series(
         z = [current + delta for current, delta in zip(z, correction)]
         result.solution = z
         result.steps.append(NewtonStep(iteration, residual, residual_norm(correction)))
-    final = residual_norm(system.residual(z))
+    context.update_inputs([z])
+    final = residual_norm([e.value for e in context.run(values_only=True)[0]])
     result.converged = final <= tolerance
     if not result.converged and raise_on_failure:
         raise ConvergenceError(
@@ -115,20 +152,26 @@ def newton_power_series_batch(
     tolerance: float = 0.0,
     raise_on_failure: bool = False,
     mode: str | None = None,
+    context=None,
 ) -> list[NewtonResult]:
     """Refine several power-series solutions of ``system`` in one batched sweep.
 
     Per instance this performs exactly the iteration of
     :func:`newton_power_series`, but every Newton step evaluates the system
-    at *all* still-active instances through one call to
-    :meth:`repro.homotopy.PolynomialSystem.evaluate_batch` — one fused pass
-    over the staged schedule instead of one evaluation per instance per
-    equation.  This is the throughput shape of the paper's motivating
-    application: many independent solution paths, one wide launch sequence.
+    at all instances through **one resident context sweep**
+    (:meth:`repro.core.EvalContext.run`): the fused slot tensor of the whole
+    batch is packed exactly once, each iteration scatters only the updated
+    solution series into the input slots, and the final residual check
+    unpacks values only.  This is the throughput shape of the paper's
+    motivating application: many independent solution paths, one wide launch
+    sequence, with the data resident across steps.
 
     ``mode`` re-targets the system's execution mode for this refinement
     (e.g. ``mode="vectorized"`` runs every sweep through the tensorized
-    NumPy backend); ``None`` keeps the system's own mode.
+    NumPy backend); ``None`` keeps the system's own mode.  ``context``
+    optionally supplies a caller-held resident context (the path tracker
+    shares one across its steps); it must match the batch size, otherwise a
+    fresh context is created.
 
     Returns one :class:`NewtonResult` per initial vector, in order.  With
     ``raise_on_failure`` a :class:`repro.errors.ConvergenceError` is raised
@@ -140,15 +183,38 @@ def newton_power_series_batch(
             f"Newton needs a square system, got {system.n_equations} equations "
             f"in {system.dimension} variables"
         )
+    if not initials:
+        return []
     solutions = [[series.copy() for series in initial] for initial in initials]
     results = [NewtonResult(solution=z) for z in solutions]
+    context = _ensure_context(system, len(solutions), context)
     active = list(range(len(solutions)))
+    # Whether to sweep through the resident context is decided after the
+    # first sweep (packing reveals whether the ring is tensor-resident).  A
+    # resident tensor always carries the full batch — converged instances
+    # keep their last inputs, their outputs are ignored, and the elementwise
+    # tensor operations make the per-instance results identical to an
+    # active-only sweep.  Delegating contexts (staged/parallel/gpu/
+    # reference/fraction-fallback) pay per evaluated instance, so after the
+    # first iteration they evaluate only the still-active instances, as the
+    # pre-residency code did.
+    use_context = True
     for iteration in range(1, max_iterations + 1):
         if not active:
             break
-        evaluations_batch = system.evaluate_batch([solutions[i] for i in active])
+        if use_context:
+            context.update_inputs(solutions)
+            evaluations_batch = context.run()
+            if iteration == 1 and not context.resident:
+                use_context = False
+        else:
+            active_evaluations = system.evaluate_batch(
+                [solutions[i] for i in active]
+            )
+            evaluations_batch = dict(zip(active, active_evaluations))
         survivors: list[int] = []
-        for index, evaluations in zip(active, evaluations_batch):
+        for index in active:
+            evaluations = evaluations_batch[index]
             residual_vector = [e.value for e in evaluations]
             residual = residual_norm(residual_vector)
             result = results[index]
@@ -166,11 +232,17 @@ def newton_power_series_batch(
             survivors.append(index)
         active = survivors
     if active:
-        # Instances that ran out of iterations: check the final residual,
-        # batched, exactly as the scalar path does one by one.
-        finals = system.evaluate_batch([solutions[i] for i in active])
-        for index, evaluations in zip(active, finals):
-            final = residual_norm([e.value for e in evaluations])
+        # Instances that ran out of iterations: check the final residual in
+        # one values-only sweep, exactly as the scalar path does.
+        if use_context:
+            context.update_inputs(solutions)
+            finals = context.run(values_only=True)
+        else:
+            finals = dict(
+                zip(active, system.evaluate_batch([solutions[i] for i in active]))
+            )
+        for index in active:
+            final = residual_norm([e.value for e in finals[index]])
             results[index].converged = final <= tolerance
     if raise_on_failure:
         failed = [i for i, result in enumerate(results) if not result.converged]

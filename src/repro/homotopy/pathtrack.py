@@ -20,7 +20,7 @@ from typing import Callable, Sequence
 
 from ..errors import ConvergenceError
 from ..series.series import PowerSeries
-from .newton import newton_power_series, newton_power_series_batch
+from .newton import _ensure_context, newton_power_series, newton_power_series_batch
 from .systems import PolynomialSystem
 
 __all__ = ["PathPoint", "PathTrackResult", "TaylorPathTracker"]
@@ -92,29 +92,47 @@ class TaylorPathTracker:
         """The local system at ``t``, re-targeted at the tracker's mode."""
         return self.system_builder(t, self.degree).with_mode(self.mode)
 
+    def _step_context(self, system: PolynomialSystem, context, batch: int):
+        """The resident context for this step, carried over when possible.
+
+        Consecutive local systems share their structure (only the parameter
+        value moves), so the previous step's context — and with it the
+        packed slot tensor — is rebound instead of rebuilt; the batch only
+        changes when paths drop out, which forces one repack.  The reuse
+        policy itself is the Newton drivers'
+        (:func:`repro.homotopy.newton._ensure_context`), shared so the two
+        layers cannot drift.
+        """
+        return _ensure_context(system, batch, context)
+
     # ------------------------------------------------------------------ #
     def track(self, start_values: Sequence, t_start: float = 0.0, t_end: float = 1.0) -> PathTrackResult:
         """Follow the path from ``t_start`` to ``t_end``.
 
         ``start_values`` are the solution coordinates at ``t_start`` (plain
         numbers in the coefficient ring of the systems produced by the
-        builder).
+        builder).  One resident evaluation context is held across *all* path
+        steps and Newton iterations, so the whole track packs its slot
+        tensor once.
         """
         result = PathTrackResult()
         t = float(t_start)
         values = list(start_values)
+        context = None
         guard = 0
         while True:
             guard += 1
             if guard > 10_000:
                 raise ConvergenceError("path tracking exceeded the iteration guard")
             system = self._build_system(t)
+            context = self._step_context(system, context, batch=1)
             initial = [PowerSeries.constant(v, self.degree) for v in values]
             newton = newton_power_series(
                 system,
                 initial,
                 max_iterations=self.newton_iterations,
                 tolerance=self.tolerance,
+                context=context,
             )
             residual = newton.final_residual
             if not newton.converged and residual > self.tolerance:
@@ -147,21 +165,26 @@ class TaylorPathTracker:
         All paths share the fixed parameter grid, so at every accepted ``t``
         the local system is built **once** and the Newton refinements of all
         still-active paths run through one batched evaluation sweep
-        (:func:`repro.homotopy.newton_power_series_batch`).  A path whose
-        refinement misses the tolerance is marked failed and dropped; the
-        remaining paths continue.  Returns one :class:`PathTrackResult` per
-        start vector, in order.
+        (:func:`repro.homotopy.newton_power_series_batch`) against a
+        resident context carried across path steps — the slot tensor of the
+        whole batch is packed once for the entire track (plus once per
+        batch shrink when a path drops out).  A path whose refinement misses
+        the tolerance is marked failed and dropped; the remaining paths
+        continue.  Returns one :class:`PathTrackResult` per start vector, in
+        order.
         """
         results = [PathTrackResult() for _ in start_values]
         values = [list(start) for start in start_values]
         active = list(range(len(values)))
         t = float(t_start)
+        context = None
         guard = 0
         while active:
             guard += 1
             if guard > 10_000:
                 raise ConvergenceError("path tracking exceeded the iteration guard")
             system = self._build_system(t)
+            context = self._step_context(system, context, batch=len(active))
             initials = [
                 [PowerSeries.constant(v, self.degree) for v in values[index]]
                 for index in active
@@ -171,6 +194,7 @@ class TaylorPathTracker:
                 initials,
                 max_iterations=self.newton_iterations,
                 tolerance=self.tolerance,
+                context=context,
             )
             at_end = t >= t_end
             h = 0.0 if at_end else min(self.step, t_end - t)

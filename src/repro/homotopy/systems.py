@@ -36,8 +36,9 @@ class PolynomialSystem:
         Execution mode of the underlying :class:`repro.core.SystemEvaluator`
         (``"reference"``, ``"staged"``, ``"parallel"``, ``"gpu"`` or the
         tensorized ``"vectorized"`` backend, which sweeps whole fused layers
-        as NumPy multidouble calls and falls back to ``"staged"`` for exact
-        and complex coefficient rings).
+        as NumPy multidouble calls — real or complex, over paired limb
+        planes — and falls back to ``"staged"`` only for exact fraction
+        rings).
     device, workers, cache:
         Forwarded to the system evaluator (GPU timing device, thread count,
         schedule cache; the default cache is process-wide).
@@ -80,6 +81,16 @@ class PolynomialSystem:
     ) -> list[list[EvaluationResult]]:
         """Evaluate the system at ``B`` input vectors in one batched sweep."""
         return self.evaluator.evaluate_batch(zs)
+
+    def make_context(self, batch: int):
+        """A resident :class:`repro.core.EvalContext` for repeated sweeps.
+
+        Newton and the path tracker hold one context across all their
+        iterations/steps: the fused slot tensor is packed once, later sweeps
+        update only the input slots in place, and outputs are unpacked on
+        demand.  See :meth:`repro.core.SystemEvaluator.make_context`.
+        """
+        return self.evaluator.make_context(batch)
 
     def residual(self, z: Sequence[PowerSeries]) -> list[PowerSeries]:
         """The vector ``F(z)`` only."""

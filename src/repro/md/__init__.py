@@ -23,7 +23,8 @@ from .complexmd import ComplexMD, ComplexMDArray
 from .opcounts import OpCounts, PAPER_OPCOUNTS, modelled_opcounts, opcounts_for, measure_opcounts
 from .veft import vec_two_sum, vec_quick_two_sum, vec_two_prod, vec_split, vec_two_sqr
 from .vrenorm import vec_renormalize, vecsum_sweep
-from .vecops import md_add_rows, md_mul_rows, md_scale_rows
+from .vecops import md_add_rows, md_mul_rows, md_scale_rows, md_sub_rows
+from .cvecops import cmd_add_rows, cmd_mul_rows, cmd_scale_rows, cmd_sub_rows
 
 __all__ = [
     "two_sum",
@@ -58,6 +59,11 @@ __all__ = [
     "vec_renormalize",
     "vecsum_sweep",
     "md_add_rows",
+    "md_sub_rows",
     "md_mul_rows",
     "md_scale_rows",
+    "cmd_add_rows",
+    "cmd_sub_rows",
+    "cmd_mul_rows",
+    "cmd_scale_rows",
 ]

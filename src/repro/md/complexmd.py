@@ -15,6 +15,7 @@ module provides the host-side equivalents:
 from __future__ import annotations
 
 import math
+from fractions import Fraction
 from typing import Iterable
 
 import numpy as np
@@ -24,6 +25,38 @@ from .multidouble import MultiDouble
 from .precision import get_precision
 
 __all__ = ["ComplexMD", "ComplexMDArray"]
+
+
+def _component(value, prec, name: str) -> MultiDouble:
+    """Coerce one real/imaginary component to a ``prec``-limb MultiDouble.
+
+    Floats round into the precision like every floating input does, but
+    *exact* inputs (ints and Fractions) are only accepted when the target
+    precision represents them exactly — silently rounding an exact value
+    would defeat its purpose.  The tensor backend enforces the same rule for
+    its limb planes: :func:`repro.core.tensor.infer_ring` routes rings with
+    oversized exact ints to the staged fallback, and the packing helpers
+    refuse them outright.
+    """
+    if isinstance(value, MultiDouble):
+        return value.to_precision(prec)
+    if isinstance(value, (float, np.floating)):
+        return MultiDouble.from_float(float(value), prec)
+    if isinstance(value, (int, np.integer, Fraction)):
+        exact = Fraction(value)
+        coerced = MultiDouble.from_fraction(exact, prec)
+        if coerced.to_fraction() != exact:
+            raise ValueError(
+                f"{name} component {value!r} is not exactly representable in "
+                f"{prec.limbs}-limb precision; convert it to float explicitly "
+                "to round"
+            )
+        return coerced
+    if isinstance(value, str):
+        # Decimal literals are rounded like floats (that is what parsing a
+        # string at a finite precision means).
+        return MultiDouble.from_string(value, prec)
+    raise TypeError(f"cannot use {type(value).__name__} as a ComplexMD {name} part")
 
 
 class ComplexMD:
@@ -40,10 +73,8 @@ class ComplexMD:
             else:
                 precision = 2
         prec = get_precision(precision)
-        self.real = real if isinstance(real, MultiDouble) else MultiDouble.from_fraction(real, prec) if not isinstance(real, float) else MultiDouble.from_float(real, prec)
-        self.imag = imag if isinstance(imag, MultiDouble) else MultiDouble.from_fraction(imag, prec) if not isinstance(imag, float) else MultiDouble.from_float(imag, prec)
-        self.real = self.real.to_precision(prec)
-        self.imag = self.imag.to_precision(prec)
+        self.real = _component(real, prec, "real")
+        self.imag = _component(imag, prec, "imag")
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -79,8 +110,12 @@ class ComplexMD:
             return other
         if isinstance(other, complex):
             return ComplexMD.from_complex(other, self.precision)
-        if isinstance(other, (int, float, MultiDouble)):
-            return ComplexMD(other if isinstance(other, MultiDouble) else MultiDouble.from_float(float(other), self.precision), MultiDouble.zero(self.precision))
+        if isinstance(other, MultiDouble):
+            return ComplexMD(other, MultiDouble.zero(self.precision), self.precision)
+        if isinstance(other, (int, float)):
+            # Through the constructor, so exact ints keep the lossy-coercion
+            # guard of ``_component``.
+            return ComplexMD(other, 0.0, self.precision)
         raise TypeError(f"cannot combine ComplexMD with {type(other).__name__}")
 
     def __add__(self, other):

@@ -26,7 +26,7 @@ import numpy as np
 from .veft import vec_two_prod
 from .vrenorm import vec_renormalize
 
-__all__ = ["md_add_rows", "md_mul_rows", "md_scale_rows"]
+__all__ = ["md_add_rows", "md_sub_rows", "md_mul_rows", "md_scale_rows"]
 
 
 def _broadcast(components: Sequence[np.ndarray], shape) -> list[np.ndarray]:
@@ -42,6 +42,23 @@ def md_add_rows(
         return [np.asarray(a[0], dtype=np.float64) + b[0]]
     shape = np.broadcast_shapes(np.shape(a[0]), np.shape(b[0]))
     return vec_renormalize(_broadcast(a, shape) + _broadcast(b, shape), limbs)
+
+
+def md_sub_rows(
+    a: Sequence[np.ndarray], b: Sequence[np.ndarray], limbs: int
+) -> list[np.ndarray]:
+    """Elementwise multiple-double difference of two limb-component sequences.
+
+    Negating every limb of ``b`` is exact, so the difference distils through
+    the same VecSum sweep as :func:`md_add_rows` — which is also exactly what
+    the scalar :meth:`repro.md.MultiDouble.__sub__` does, keeping the two
+    stacks bit-compatible.
+    """
+    if limbs == 1:
+        return [np.asarray(a[0], dtype=np.float64) - b[0]]
+    negated = [-np.asarray(row, dtype=np.float64) for row in b]
+    shape = np.broadcast_shapes(np.shape(a[0]), np.shape(b[0]))
+    return vec_renormalize(_broadcast(a, shape) + _broadcast(negated, shape), limbs)
 
 
 def md_mul_rows(

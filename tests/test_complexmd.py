@@ -69,6 +69,37 @@ class TestComplexMDScalar:
         with pytest.raises(TypeError):
             ComplexMD.one(2) + [1, 2]  # type: ignore[operand]
 
+    def test_exact_inputs_construct_exactly(self):
+        from fractions import Fraction
+
+        z = ComplexMD(3, Fraction(1, 4), precision=2)
+        assert z.real.to_fraction() == 3
+        assert z.imag.to_fraction() == Fraction(1, 4)
+        # Exact values that fit the precision pass through ints in arithmetic
+        # coercions too.
+        assert (z * 2).to_complex() == 6 + 0.5j
+
+    def test_lossy_exact_inputs_rejected(self):
+        from fractions import Fraction
+
+        # Three bit-chunks spread over 120 bits exceed what two independent
+        # double limbs can carry; silently rounding an exact int would drop
+        # the "+ 1".
+        lossy = 2**120 + 2**60 + 1
+        with pytest.raises(ValueError):
+            ComplexMD(lossy, 0.0, precision=2)
+        with pytest.raises(ValueError):
+            ComplexMD(0.0, Fraction(1, 3), precision=2)
+        # The same values are fine once rounded explicitly ...
+        assert ComplexMD(float(lossy), 0.0, precision=2).imag.is_zero()
+        # ... or when the precision actually carries them.
+        wide = ComplexMD(lossy, 0.0, precision=4)
+        assert wide.real.to_fraction() == lossy
+
+    def test_unsupported_component_type_rejected(self):
+        with pytest.raises(TypeError):
+            ComplexMD([1.0], 0.0, precision=2)
+
     def test_high_precision_multiplication_accuracy(self, rng):
         a = ComplexMD(MultiDouble.random(10, rng), MultiDouble.random(10, rng))
         b = ComplexMD(MultiDouble.random(10, rng), MultiDouble.random(10, rng))

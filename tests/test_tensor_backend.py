@@ -202,8 +202,24 @@ class TestVectorizedParity:
 
 
 class TestRingFallback:
-    @pytest.mark.parametrize("kind", ("fraction", "complex", "complex_md"))
-    def test_unsupported_rings_fall_back_to_staged(self, kind, rng):
+    def test_fraction_ring_falls_back_to_staged(self, rng):
+        polynomials = [
+            random_polynomial(4, 3, 2, degree=2, kind="fraction", rng=rng)
+            for _ in range(2)
+        ]
+        zs = [random_series_vector(4, 2, "fraction", 2, rng) for _ in range(2)]
+        cache = ScheduleCache()
+        vectorized = SystemEvaluator(
+            polynomials, mode="vectorized", cache=cache
+        ).evaluate_batch(zs)
+        staged = SystemEvaluator(polynomials, mode="staged", cache=cache).evaluate_batch(zs)
+        assert _max_difference(vectorized, staged) == 0.0
+        assert vectorized[0][0].metadata["mode"] == "staged"
+
+    @pytest.mark.parametrize("kind,ring", (("complex", "complex"), ("complex_md", "cmd")))
+    def test_complex_rings_run_vectorized(self, kind, ring, rng):
+        """Complex rings are first-class since the paired-plane tensor:
+        they run the fast path and agree with the staged oracle exactly."""
         polynomials = [
             random_polynomial(4, 3, 2, degree=2, kind=kind, rng=rng) for _ in range(2)
         ]
@@ -214,7 +230,8 @@ class TestRingFallback:
         ).evaluate_batch(zs)
         staged = SystemEvaluator(polynomials, mode="staged", cache=cache).evaluate_batch(zs)
         assert _max_difference(vectorized, staged) == 0.0
-        assert vectorized[0][0].metadata["mode"] == "staged"
+        assert vectorized[0][0].metadata["mode"] == "vectorized"
+        assert vectorized[0][0].metadata["ring"] == ring
 
     def test_mixed_float_system_md_inputs_runs_vectorized(self, rng):
         polynomials = [
@@ -238,7 +255,11 @@ class TestRingFallback:
         assert infer_ring(md) == ("md", 4)
         assert infer_ring(md + [PowerSeries([1.0, 0.5, 0.25])]) == ("md", 4)
         assert infer_ring([PowerSeries([Fraction(1, 3), Fraction(0)])]) is None
-        assert infer_ring([PowerSeries([1.0 + 2.0j, 0j])]) is None
+        assert infer_ring([PowerSeries([1.0 + 2.0j, 0j])]) == ("complex", 1)
+        cmd = random_series_vector(1, 2, "complex_md", 4, rng)
+        assert infer_ring(cmd) == ("cmd", 4)
+        # Mixing real multidoubles with plain complexes joins into cmd.
+        assert infer_ring(md + [PowerSeries([1.0 + 2.0j, 0j, 1j])]) == ("cmd", 4)
 
 
 # --------------------------------------------------------------------- #
