@@ -47,7 +47,14 @@ from ..circuits.powers import PowerTable
 from ..circuits.reference import EvaluationResult
 from ..errors import StagingError
 from ..series.series import PowerSeries
-from .tensor import infer_ring, join_rings, make_tensor
+from .tensor import (
+    ComplexSlotTensor,
+    SlotTensor,
+    collapse_limbs,
+    infer_ring,
+    join_rings,
+    make_tensor,
+)
 
 __all__ = ["EvalContext"]
 
@@ -81,6 +88,8 @@ class EvalContext:
         self._var_rows: list[np.ndarray] | None = None
         self._work_rows: np.ndarray | None = None
         self._adjusted: list[tuple[int, int, int]] = []
+        self._value_rows: np.ndarray | None = None
+        self._grad_rows: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -107,6 +116,11 @@ class EvalContext:
     def resident(self) -> bool:
         """True when runs execute on the resident tensor (no delegation)."""
         return self._delegate_to is None and self._tensor is not None
+
+    @property
+    def ring(self) -> tuple[str, int] | None:
+        """The packed tensor's ``(kind, limbs)`` ring, ``None`` before packing."""
+        return self._ring
 
     def __repr__(self) -> str:
         target = "resident" if self.resident else (self._delegate_to or "unpacked")
@@ -210,6 +224,15 @@ class EvalContext:
         per_instance = np.concatenate(work).astype(np.int64)
         self._work_rows = (per_instance[None, :] + bases).reshape(-1)
         self._adjusted = adjusted
+        # Output rows for the batched Newton consumers: one value row per
+        # equation, and per (equation, variable) the gradient row — or -1 for
+        # variables the equation does not depend on (an exactly zero series).
+        self._value_rows = np.asarray(fused.value_slots, dtype=np.int64)
+        grad = np.full((fused.n_equations, fused.dimension), -1, dtype=np.int64)
+        for equation, gradient_map in enumerate(fused.gradient_slots):
+            for variable, slot in gradient_map.items():
+                grad[equation, variable] = slot
+        self._grad_rows = grad
 
     def _rewrite_system_rows(self) -> None:
         """Write the (rebound) system's input-region series rows in place.
@@ -252,6 +275,30 @@ class EvalContext:
             raise StagingError("EvalContext.run called before update_inputs")
         if self._delegate_to is not None:
             return self._delegate(values_only)
+        metadata = self.run_packed()
+        return self._evaluator._collect_vectorized(
+            self._tensor, self._batch, metadata, values_only=values_only
+        )
+
+    def run_packed(self) -> dict:
+        """One sweep that leaves every output in the resident tensor.
+
+        The tensorized analogue of a kernel launch without a device-to-host
+        copy: the compiled program runs, and values and derivatives stay in
+        the packed limb tensor for the in-tensor consumers
+        (:meth:`residual_norms`, :meth:`newton_system`) — nothing is unpacked
+        into :class:`PowerSeries`.  Returns the sweep metadata dict.  Raises
+        :class:`repro.errors.StagingError` for delegating contexts, which
+        have no resident tensor to leave results in; callers check
+        :attr:`resident` and fall back to :meth:`run`.
+        """
+        if self._zs is None:
+            raise StagingError("EvalContext.run_packed called before update_inputs")
+        if self._delegate_to is not None or self._tensor is None:
+            raise StagingError(
+                "EvalContext.run_packed needs a resident tensor; this context "
+                f"delegates to {self._delegate_to or 'an unpacked path'!r}"
+            )
         if self._system_dirty:
             self._rewrite_system_rows()
             self._system_dirty = False
@@ -261,7 +308,7 @@ class EvalContext:
         self._runs += 1
         evaluator = self._evaluator
         kind, limbs = self._ring
-        metadata = {
+        return {
             "mode": "vectorized",
             "ring": kind,
             "limbs": limbs,
@@ -272,9 +319,104 @@ class EvalContext:
             "resident_runs": self._runs,
             "packs": self._packs,
         }
-        return evaluator._collect_vectorized(
-            tensor, self._batch, metadata, values_only=values_only
-        )
+
+    # ------------------------------------------------------------------ #
+    # in-tensor consumers (batched Newton)
+    # ------------------------------------------------------------------ #
+    def _require_outputs(self) -> None:
+        if not self.resident or self._value_rows is None:
+            raise StagingError(
+                "this context has no resident outputs; run_packed it first"
+            )
+        if self._runs == 0:
+            raise StagingError("no sweep has run yet; call run_packed first")
+
+    def residual_norms(self) -> np.ndarray:
+        """Largest value-coefficient magnitude per instance, as doubles.
+
+        Reads the resident value rows of the last sweep directly: limb
+        planes collapse to doubles exactly like
+        :meth:`repro.md.MultiDouble.to_float` (and complex magnitudes are the
+        moduli of the collapsed planes, matching ``abs(value.to_complex())``),
+        so each entry equals the scalar
+        :func:`repro.homotopy.residual_norm` of that instance's unpacked
+        values.
+        """
+        self._require_outputs()
+        stride = self._evaluator.fused.total_slots
+        bases = np.arange(self._batch, dtype=np.int64) * stride
+        rows = bases[:, None] + self._value_rows[None, :]
+        if isinstance(self._tensor, ComplexSlotTensor):
+            # np.hypot matches Python's abs(complex) bit for bit; np.abs on
+            # complex128 can round one ulp differently.
+            magnitudes = np.hypot(
+                collapse_limbs(self._tensor.real[:, rows, :]),
+                collapse_limbs(self._tensor.imag[:, rows, :]),
+            )
+        else:
+            magnitudes = np.abs(collapse_limbs(self._tensor.data[:, rows, :]))
+        return magnitudes.max(axis=(1, 2))
+
+    def newton_system(self, instances: Sequence[int]):
+        """Gather the packed Newton systems ``J(z) dz = -F(z)`` of ``instances``.
+
+        Returns ``(matrix, rhs)`` limb tensors shaped
+        ``(limbs, m, n, n, degree+1)`` and ``(limbs, m, n, degree+1)`` for
+        the ``m`` requested instances — real planes, or ``(real, imag)``
+        pairs for complex rings, exactly the operands of
+        :func:`repro.homotopy.batch_linsolve.solve_packed`.  The Jacobian
+        rows are gathered straight from the resident derivative rows (no
+        series unpacking); variables an equation does not depend on read as
+        exactly zero series, and the right-hand side is the exact limbwise
+        negation of the value rows, matching the scalar driver's
+        ``-value``.
+        """
+        self._require_outputs()
+        fused = self._evaluator.fused
+        stride = fused.total_slots
+        bases = np.asarray(list(instances), dtype=np.int64) * stride
+        value_rows = bases[:, None] + self._value_rows[None, :]
+        missing = self._grad_rows < 0
+        grad_rows = bases[:, None, None] + np.where(missing, 0, self._grad_rows)[None, :, :]
+        if isinstance(self._tensor, ComplexSlotTensor):
+            planes = (self._tensor.real, self._tensor.imag)
+            # Advanced indexing gathers into fresh arrays, so zeroing the
+            # missing-variable blocks cannot touch the resident tensor.
+            matrix = tuple(plane[:, grad_rows, :] for plane in planes)
+            for plane in matrix:
+                plane[:, :, missing, :] = 0.0
+            rhs = tuple(-plane[:, value_rows, :] for plane in planes)
+            return matrix, rhs
+        matrix = self._tensor.data[:, grad_rows, :]
+        matrix[:, :, missing, :] = 0.0
+        rhs = -self._tensor.data[:, value_rows, :]
+        return matrix, rhs
+
+    def unpack_vectors(self, solution) -> list[list[PowerSeries]]:
+        """Unpack per-instance solution vectors of the batched solver.
+
+        ``solution`` is the ``(limbs, m, n, degree+1)`` result tensor of
+        :func:`repro.homotopy.batch_linsolve.solve_packed` (a ``(real,
+        imag)`` pair for complex rings); the result is one list of ``n``
+        series per instance, in the ring this context is packed for.
+        """
+        self._require_outputs()
+        kind, limbs = self._ring
+        if isinstance(solution, tuple):
+            real, imag = solution
+            _, m, n, width = real.shape
+            tensor = ComplexSlotTensor(
+                np.ascontiguousarray(real).reshape(limbs, m * n, width),
+                np.ascontiguousarray(imag).reshape(limbs, m * n, width),
+                kind,
+            )
+        else:
+            _, m, n, width = solution.shape
+            tensor = SlotTensor(
+                np.ascontiguousarray(solution).reshape(limbs, m * n, width), kind
+            )
+        slots = tensor.to_slots()
+        return [slots[b * n : (b + 1) * n] for b in range(m)]
 
     def _delegate(self, values_only: bool):
         """Run through the evaluator's per-call mode dispatch (non-tensor

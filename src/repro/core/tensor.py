@@ -59,6 +59,7 @@ __all__ = [
     "ComplexSlotTensor",
     "TensorLayer",
     "TensorProgram",
+    "collapse_limbs",
     "compile_tensor_program",
     "convolve_rows",
     "convolve_rows_complex",
@@ -566,6 +567,21 @@ def make_tensor(
 # --------------------------------------------------------------------- #
 # the batched convolution kernel
 # --------------------------------------------------------------------- #
+def collapse_limbs(planes: np.ndarray) -> np.ndarray:
+    """Collapse a stack of limb planes to plain doubles, the scalar way.
+
+    ``planes`` has the limb axis leading; the result drops it.  The sum runs
+    from the *least* significant limb upward starting at ``0.0``, exactly
+    like :meth:`repro.md.MultiDouble.to_float`, so magnitude comparisons on
+    collapsed values (pivot selection, residual norms) agree with the scalar
+    code path bit for bit.
+    """
+    total = np.zeros(planes.shape[1:], dtype=np.float64)
+    for plane in planes[::-1]:
+        total += plane
+    return total
+
+
 def convolve_rows(x: np.ndarray, y: np.ndarray, limbs: int) -> np.ndarray:
     """Truncated convolution of many series pairs in one sweep.
 

@@ -214,6 +214,51 @@ class TimingModel:
             "transfer_saved_ms": repack - resident,
         }
 
+    def predict_solve(self, dimension: int, degree: int, batch: int = 1) -> TimingReport:
+        """Predicted launch sequence of one batched series linear solve.
+
+        Models :func:`repro.homotopy.batch_linsolve.batch_lu_solve_tensor`
+        eliminating ``batch`` packed ``dimension x dimension`` systems of
+        degree-``degree`` series at once, launch for launch:
+
+        * per elimination column ``c``: one convolution launch of ``batch``
+          blocks for the pivot-inverse recursion, and — while rows remain —
+          one convolution launch of ``r * batch`` blocks for the elimination
+          factors (``r = dimension - 1 - c`` rows below the pivot) plus one
+          convolution and one addition launch of ``r * (dimension - c + 1) *
+          batch`` blocks updating the trailing columns and the right-hand
+          side together;
+        * per back-substitution row ``r``: ``dimension - 1 - r`` sequential
+          convolution + addition pairs of ``batch`` blocks (the running
+          accumulator forces the serialisation) and one final ``batch``-block
+          convolution by the cached pivot inverse.
+
+        The column index is recorded as the launch ``layer``.  This is the
+        device-cost counterpart of the host-side batched solver: wide,
+        batch-proportional launches during elimination, but a long tail of
+        tiny serial launches in back substitution — the same launch-overhead
+        shape the paper reports for small systems.
+        """
+        if dimension < 1:
+            raise ValueError(f"dimension must be >= 1, got {dimension}")
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        report = TimingReport()
+        for column in range(dimension):
+            report.add(self.convolution_launch(batch, degree, layer=column + 1))
+            remaining = dimension - 1 - column
+            if remaining:
+                report.add(self.convolution_launch(remaining * batch, degree, layer=column + 1))
+                span = remaining * (dimension - column + 1) * batch
+                report.add(self.convolution_launch(span, degree, layer=column + 1))
+                report.add(self.addition_launch(span, degree, layer=column + 1))
+        for row in range(dimension - 1, -1, -1):
+            for _ in range(dimension - 1 - row):
+                report.add(self.convolution_launch(batch, degree, layer=row + 1))
+                report.add(self.addition_launch(batch, degree, layer=row + 1))
+            report.add(self.convolution_launch(batch, degree, layer=row + 1))
+        return report
+
     def predict_from_launch_sizes(
         self,
         convolution_launches,

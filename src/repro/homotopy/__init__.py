@@ -2,6 +2,12 @@
 
 from .systems import PolynomialSystem
 from .linsolve import lu_solve, matrix_vector_product, residual_norm
+from .batch_linsolve import (
+    batch_lu_solve,
+    batch_lu_solve_tensor,
+    batch_lu_solve_tensor_complex,
+    solve_packed,
+)
 from .newton import NewtonStep, NewtonResult, newton_power_series, newton_power_series_batch
 from .pathtrack import PathPoint, PathTrackResult, TaylorPathTracker
 
@@ -10,6 +16,10 @@ __all__ = [
     "lu_solve",
     "matrix_vector_product",
     "residual_norm",
+    "batch_lu_solve",
+    "batch_lu_solve_tensor",
+    "batch_lu_solve_tensor_complex",
+    "solve_packed",
     "NewtonStep",
     "NewtonResult",
     "newton_power_series",

@@ -34,13 +34,17 @@ def lu_solve(matrix: Sequence[Sequence[PowerSeries]], rhs: Sequence[PowerSeries]
     """Solve ``matrix * x = rhs`` by Gaussian elimination over the series ring.
 
     Raises :class:`repro.errors.SingularSystemError` when a pivot's constant
-    term vanishes (the linearised system is singular at ``t = 0``).
+    term vanishes (the linearised system is singular at ``t = 0``); a
+    non-square input is a usage error and raises :class:`ValueError`.
     """
     n = len(rhs)
     if any(len(row) != n for row in matrix) or len(matrix) != n:
-        raise SingularSystemError("lu_solve expects a square system")
+        raise ValueError("lu_solve expects a square system")
     a = [list(row) for row in matrix]
     b = list(rhs)
+    # Per-column pivot inverses from elimination, reused by back substitution
+    # (each series inversion costs a full recursion over the coefficients).
+    inverses: list[PowerSeries | None] = [None] * n
 
     for column in range(n):
         # Partial pivoting on the constant coefficients.
@@ -51,6 +55,7 @@ def lu_solve(matrix: Sequence[Sequence[PowerSeries]], rhs: Sequence[PowerSeries]
             a[column], a[pivot_row] = a[pivot_row], a[column]
             b[column], b[pivot_row] = b[pivot_row], b[column]
         pivot_inverse = a[column][column].inverse()
+        inverses[column] = pivot_inverse
         for row in range(column + 1, n):
             factor = a[row][column] * pivot_inverse
             for k in range(column, n):
@@ -63,7 +68,7 @@ def lu_solve(matrix: Sequence[Sequence[PowerSeries]], rhs: Sequence[PowerSeries]
         accumulator = b[row]
         for k in range(row + 1, n):
             accumulator = accumulator - a[row][k] * x[k]
-        x[row] = accumulator * a[row][row].inverse()
+        x[row] = accumulator * inverses[row]
     return list(x)  # type: ignore[arg-type]
 
 

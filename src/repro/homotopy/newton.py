@@ -25,8 +25,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..errors import ConvergenceError
+from ..errors import ConvergenceError, SingularSystemError, StagingError
 from ..series.series import PowerSeries
+from .batch_linsolve import solve_packed
 from .linsolve import lu_solve, residual_norm
 from .systems import PolynomialSystem
 
@@ -152,6 +153,7 @@ def newton_power_series_batch(
     tolerance: float = 0.0,
     raise_on_failure: bool = False,
     mode: str | None = None,
+    solver: str = "auto",
     context=None,
 ) -> list[NewtonResult]:
     """Refine several power-series solutions of ``system`` in one batched sweep.
@@ -166,17 +168,33 @@ def newton_power_series_batch(
     motivating application: many independent solution paths, one wide launch
     sequence, with the data resident across steps.
 
+    When the context is tensor-resident, the *linear solve* stays in the
+    tensor too: residual norms read the value rows directly, the Jacobians
+    and negated values gather into packed limb tensors
+    (:meth:`repro.core.EvalContext.newton_system`, no unpack-to-series round
+    trip), and all pending instances eliminate together through the batched
+    :func:`repro.homotopy.batch_linsolve.solve_packed` — bit-identical to
+    per-instance :func:`lu_solve` at double-double precision.
+
     ``mode`` re-targets the system's execution mode for this refinement
     (e.g. ``mode="vectorized"`` runs every sweep through the tensorized
-    NumPy backend); ``None`` keeps the system's own mode.  ``context``
-    optionally supplies a caller-held resident context (the path tracker
-    shares one across its steps); it must match the batch size, otherwise a
-    fresh context is created.
+    NumPy backend); ``None`` keeps the system's own mode.  ``solver`` picks
+    the linear-solve path: ``"auto"`` (default) uses the batched tensor
+    solver whenever the context is resident and the scalar oracle
+    otherwise, ``"scalar"`` forces per-instance :func:`lu_solve` (the
+    oracle, and the only path for staged/fraction/delegating contexts), and
+    ``"batched"`` requires residency, raising
+    :class:`repro.errors.StagingError` when the context delegates.
+    ``context`` optionally supplies a caller-held resident context (the
+    path tracker shares one across its steps); it must match the batch
+    size, otherwise a fresh context is created.
 
     Returns one :class:`NewtonResult` per initial vector, in order.  With
     ``raise_on_failure`` a :class:`repro.errors.ConvergenceError` is raised
     when any instance misses the tolerance.
     """
+    if solver not in ("auto", "batched", "scalar"):
+        raise ValueError(f"solver must be 'auto', 'batched' or 'scalar', got {solver!r}")
     system = system.with_mode(mode)
     if not system.is_square:
         raise ConvergenceError(
@@ -204,6 +222,17 @@ def newton_power_series_batch(
             break
         if use_context:
             context.update_inputs(solutions)
+            if solver == "batched" and not context.resident:
+                raise StagingError(
+                    "solver='batched' needs a tensor-resident context; this one "
+                    "delegates (staged/fraction/non-vectorized mode) — use "
+                    "solver='auto' or 'scalar'"
+                )
+            if solver != "scalar" and context.resident:
+                active = _resident_newton_step(
+                    context, solutions, results, active, iteration, tolerance
+                )
+                continue
             evaluations_batch = context.run()
             if iteration == 1 and not context.resident:
                 use_context = False
@@ -234,16 +263,23 @@ def newton_power_series_batch(
     if active:
         # Instances that ran out of iterations: check the final residual in
         # one values-only sweep, exactly as the scalar path does.
-        if use_context:
+        if use_context and solver != "scalar" and context.resident:
             context.update_inputs(solutions)
-            finals = context.run(values_only=True)
+            context.run_packed()
+            norms = context.residual_norms()
+            for index in active:
+                results[index].converged = float(norms[index]) <= tolerance
         else:
-            finals = dict(
-                zip(active, system.evaluate_batch([solutions[i] for i in active]))
-            )
-        for index in active:
-            final = residual_norm([e.value for e in finals[index]])
-            results[index].converged = final <= tolerance
+            if use_context:
+                context.update_inputs(solutions)
+                finals = context.run(values_only=True)
+            else:
+                finals = dict(
+                    zip(active, system.evaluate_batch([solutions[i] for i in active]))
+                )
+            for index in active:
+                final = residual_norm([e.value for e in finals[index]])
+                results[index].converged = final <= tolerance
     if raise_on_failure:
         failed = [i for i, result in enumerate(results) if not result.converged]
         if failed:
@@ -252,3 +288,50 @@ def newton_power_series_batch(
                 f"iterations for instances {failed}"
             )
     return results
+
+
+def _resident_newton_step(
+    context, solutions, results, active: list[int], iteration: int, tolerance: float
+) -> list[int]:
+    """One fully tensor-resident Newton iteration over the active instances.
+
+    Sweeps once, reads the per-instance residual norms off the value rows,
+    and solves the Newton systems of every still-pending instance in one
+    batched elimination — evaluation and solve both NumPy end-to-end.
+    Returns the surviving (not yet converged) instance indices.
+    """
+    context.run_packed()
+    norms = context.residual_norms()
+    pending: list[tuple[int, float]] = []
+    for index in active:
+        residual = float(norms[index])
+        result = results[index]
+        if residual <= tolerance:
+            result.steps.append(NewtonStep(iteration, residual, 0.0))
+            result.converged = True
+            continue
+        pending.append((index, residual))
+    if not pending:
+        return []
+    indices = [index for index, _ in pending]
+    matrix, rhs = context.newton_system(indices)
+    try:
+        solution = solve_packed(matrix, rhs, context.ring[1])
+    except SingularSystemError as error:
+        positions = getattr(error, "instances", [])
+        labels = ", ".join(str(indices[p]) for p in positions)
+        remapped = SingularSystemError(
+            f"singular Newton system for batch instance(s) {labels}"
+        )
+        remapped.instances = [indices[p] for p in positions]
+        raise remapped from error
+    corrections = context.unpack_vectors(solution)
+    survivors: list[int] = []
+    for (index, residual), correction in zip(pending, corrections):
+        z = [current + delta for current, delta in zip(solutions[index], correction)]
+        solutions[index] = z
+        result = results[index]
+        result.solution = z
+        result.steps.append(NewtonStep(iteration, residual, residual_norm(correction)))
+        survivors.append(index)
+    return survivors

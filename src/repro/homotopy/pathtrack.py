@@ -16,6 +16,7 @@ with PHCpack.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Callable, Sequence
 
 from ..errors import ConvergenceError
@@ -24,6 +25,13 @@ from .newton import _ensure_context, newton_power_series, newton_power_series_ba
 from .systems import PolynomialSystem
 
 __all__ = ["PathPoint", "PathTrackResult", "TaylorPathTracker"]
+
+#: Relative slack within which an accumulated parameter value is considered
+#: to have reached the end of the track.  Repeated ``t += h`` accumulation
+#: drifts by a few ulps per step; without the snap, a track like step 0.1
+#: over [0, 1] can stop just short of ``t_end`` and emit a spurious
+#: micro-step at an off-grid parameter value.
+_SNAP_EPSILON = 1.0e-12
 
 
 @dataclass(frozen=True)
@@ -151,7 +159,7 @@ class TaylorPathTracker:
                 return result
             h = min(self.step, t_end - t)
             values = [series.evaluate(_promote_step(series, h)) for series in newton.solution]
-            t += h
+            t = _advance(t, h, t_end)
 
     # ------------------------------------------------------------------ #
     def track_many(
@@ -222,10 +230,28 @@ class TaylorPathTracker:
             if at_end:
                 break
             active = survivors
-            t += h
+            t = _advance(t, h, t_end)
         return results
 
 
+def _advance(t: float, h: float, t_end: float) -> float:
+    """Advance the parameter by ``h``, snapping onto ``t_end`` when reached."""
+    t = t + h
+    if abs(t_end - t) <= _SNAP_EPSILON * max(1.0, abs(t_end)):
+        return t_end
+    return t
+
+
 def _promote_step(series: PowerSeries, h: float):
-    """Promote the step size into the coefficient ring of ``series``."""
-    return series.coefficients[0] * 0 + h
+    """Promote the step size into the coefficient ring of ``series``.
+
+    The promotion goes through the ring's own conversion so exact rings stay
+    exact: ``zero + h`` for a :class:`~fractions.Fraction` coefficient would
+    demote the whole evaluation to float, so ``h`` is lifted to an (exact)
+    ``Fraction`` first.  Floating-point rings (float, complex, multidouble)
+    absorb the plain double unchanged.
+    """
+    zero = series.coefficients[0] * 0
+    if isinstance(zero, Fraction):
+        return zero + Fraction(h)
+    return zero + h

@@ -23,7 +23,7 @@ import numpy as np
 
 from .veft import vec_two_sum
 
-__all__ = ["vecsum_sweep", "vec_renormalize"]
+__all__ = ["vecsum_sweep", "vec_renormalize", "vec_renormalize_exact"]
 
 
 def vecsum_sweep(components: list[np.ndarray]) -> list[np.ndarray]:
@@ -93,3 +93,73 @@ def vec_renormalize(
             head[i], head[i + 1] = vec_two_sum(head[i], head[i + 1])
         return head
     return work
+
+
+def _grow_expansion(
+    expansion: list[np.ndarray], term: np.ndarray
+) -> list[np.ndarray]:
+    """Elementwise :func:`repro.md.renorm.grow_expansion` over slot arrays.
+
+    The scalar version drops zero error terms, so expansions have
+    data-dependent lengths; here every lane keeps a fixed slot per component
+    and the dropped zeros simply stay behind as zero slots.  A zero slot is
+    exactly transparent to a two-sum chain (``two_sum(q, ±0.0)`` passes ``q``
+    through with a zero error), so the non-zero slot values match the scalar
+    expansion components lane by lane, in the same order.
+    """
+    grown: list[np.ndarray] = []
+    q = term
+    for component in expansion:
+        q, err = vec_two_sum(q, component)
+        grown.append(err)
+    grown.append(q)
+    return grown
+
+
+def vec_renormalize_exact(terms: list[np.ndarray], limbs: int) -> list[np.ndarray]:
+    """Bit-exact elementwise replica of :func:`repro.md.renorm.renormalize`.
+
+    :func:`vec_renormalize` distils with VecSum sweeps — faithful, and
+    validated bit-compatible with the scalar Shewchuk renormalisation on the
+    term lists the evaluation kernels produce, but a genuinely different
+    accumulation order that can round the last limb differently on adversarial
+    inputs (e.g. the near-binade products of a reciprocal's long division).
+    This variant replays the scalar algorithm itself, elementwise: grow the
+    exact non-overlapping expansion term by term, then repeatedly round the
+    expansion to the next limb and subtract it exactly.
+
+    The scalar code skips zero *terms* before growing; that branch is lane
+    data-dependent, so here lanes with a zero term keep their previous
+    expansion (plus one transparent zero slot) via a mask.  Zero *components*
+    inside an expansion need no mask — they pass through every two-sum chain
+    and every ordered accumulation unchanged.  The cost is quadratic in the
+    term count (against the sweeps' linear passes), which is why only the
+    division/reciprocal kernels pay for it.
+    """
+    if limbs < 1:
+        raise ValueError(f"limbs must be >= 1, got {limbs}")
+    if not terms:
+        raise ValueError("vec_renormalize_exact needs at least one term")
+    work = [np.asarray(t, dtype=np.float64) for t in terms]
+    shape = np.broadcast_shapes(*(t.shape for t in work))
+    zero = np.zeros(shape, dtype=np.float64)
+    expansion: list[np.ndarray] = []
+    for term in work:
+        term = np.broadcast_to(term, shape)
+        grown = _grow_expansion(expansion, term)
+        skip = term == 0.0
+        expansion = [
+            np.where(skip, old, new)
+            for old, new in zip(expansion + [zero], grown)
+        ]
+    out: list[np.ndarray] = []
+    for _ in range(limbs):
+        total = zero
+        for component in expansion:
+            total = total + component
+        out.append(total)
+        # A zero limb only happens when every component is zero, in which case
+        # growing by -0.0 leaves the all-zero expansion all zero — so the
+        # scalar's "skip when the limb is zero" branch needs no mask here.
+        expansion = _grow_expansion(expansion, -total)
+    return out

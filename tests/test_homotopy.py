@@ -65,9 +65,35 @@ class TestLinearSolve:
             lu_solve([[zero, zero], [zero, zero]], [zero, zero])
 
     def test_non_square_rejected(self):
+        # A non-square input is a usage error, not a singular system.
         zero = PowerSeries.zero(1, Fraction(1))
-        with pytest.raises(SingularSystemError):
+        with pytest.raises(ValueError):
             lu_solve([[zero, zero]], [zero])
+
+    def test_pivot_inverted_once_per_column(self, rng, monkeypatch):
+        """Elimination and back substitution share one inverse per pivot.
+
+        An earlier version inverted every pivot series twice — once for the
+        row updates and once more during back substitution.  The inversion
+        is the expensive part of the solve (a full recursion over the
+        coefficients), so the count is pinned at exactly ``n``.
+        """
+        n, degree = 4, 3
+        matrix = [[random_fraction_series(degree, rng) for _ in range(n)] for _ in range(n)]
+        for i in range(n):
+            if matrix[i][i].coefficients[0] == 0:
+                matrix[i][i].coefficients[0] = Fraction(2)
+        rhs = [random_fraction_series(degree, rng) for _ in range(n)]
+        calls = {"count": 0}
+        original = PowerSeries.inverse
+
+        def counting(self):
+            calls["count"] += 1
+            return original(self)
+
+        monkeypatch.setattr(PowerSeries, "inverse", counting)
+        lu_solve(matrix, rhs)
+        assert calls["count"] == n
 
     def test_residual_norm(self):
         assert residual_norm([fseries([0, 0]), fseries([0, 0])]) == 0.0
@@ -283,6 +309,49 @@ class TestPathTracker:
         assert many[1].final_values[0] == pytest.approx(-math.sqrt(2.0), abs=1e-9)
         for point in many[1].points:
             assert point.values[0] == pytest.approx(-math.sqrt(1.0 + point.t), abs=1e-8)
+
+    def test_no_drift_micro_step(self):
+        """Step 0.1 over [0, 1] gives exactly the 11 grid points.
+
+        Accumulating ``t += h`` in doubles lands at 0.9999999999999999 after
+        ten steps; without snapping onto ``t_end`` the tracker used to emit a
+        spurious twelfth micro-step at that off-grid parameter value.
+        """
+        tracker = TaylorPathTracker(self._builder, degree=6, step=0.1)
+        result = tracker.track([1.0], 0.0, 1.0)
+        assert result.success
+        assert len(result.points) == 11
+        assert result.points[-1].t == 1.0
+        many = tracker.track_many([[1.0]], 0.0, 1.0)
+        assert len(many[0].points) == 11
+        assert many[0].points[-1].t == 1.0
+
+    @staticmethod
+    def _fraction_builder(t0: float, degree: int) -> PolynomialSystem:
+        # x1 - (1 + t) = 0 around t0: the exact solution is 1 + t0 + s.
+        p = parse_polynomial("x1", degree=degree, kind="fraction")
+        p.constant.coefficients[0] = -(Fraction(1) + Fraction(t0))
+        if degree >= 1:
+            p.constant.coefficients[1] = Fraction(-1)
+        return PolynomialSystem([p])
+
+    def test_fraction_ring_stays_exact(self):
+        """Advancing the series keeps Fraction coefficients exact.
+
+        ``_promote_step`` used to lift the step into the ring as
+        ``coefficient * 0 + h``, which demotes a Fraction ring to float; the
+        whole track then silently ran in doubles.  The linear path
+        x = 1 + t over [0, 1] must stay rational and exact at every point.
+        """
+        tracker = TaylorPathTracker(self._fraction_builder, degree=3, step=0.25)
+        result = tracker.track([Fraction(1)], 0.0, 1.0)
+        assert result.success
+        assert len(result.points) == 5
+        for point in result.points:
+            value = point.values[0]
+            assert isinstance(value, Fraction)
+            assert value == Fraction(1) + Fraction(point.t)
+        assert result.final_values[0] == Fraction(2)
 
     def test_track_many_drops_failing_paths(self):
         tracker = TaylorPathTracker(
