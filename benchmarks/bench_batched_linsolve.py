@@ -30,7 +30,7 @@ from conftest import RESULTS_DIR, emit
 from repro.circuits.testpolys import make_polynomial_from_structure
 from repro.core import ScheduleCache
 from repro.gpusim.timing import TimingModel
-from repro.homotopy import PolynomialSystem, newton_power_series_batch
+from repro.homotopy import NewtonOptions, PolynomialSystem, newton_power_series_batch
 from repro.md import ComplexMD, MultiDouble
 from repro.series import PowerSeries
 
@@ -85,7 +85,7 @@ def _newton_sweep(system, initials, solver: str):
     for _ in range(REPETITIONS):
         start = time.perf_counter()
         results = newton_power_series_batch(
-            system, initials, max_iterations=ITERATIONS, solver=solver
+            system, initials, options=NewtonOptions(max_iterations=ITERATIONS, solver=solver)
         )
         best = min(best, time.perf_counter() - start)
     return best, results

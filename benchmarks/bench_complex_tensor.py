@@ -29,7 +29,7 @@ from conftest import RESULTS_DIR, emit
 from repro.circuits.testpolys import make_polynomial_from_structure
 from repro.core import ScheduleCache, SystemEvaluator
 from repro.gpusim.timing import TimingModel
-from repro.homotopy import PolynomialSystem, newton_power_series_batch
+from repro.homotopy import NewtonOptions, PolynomialSystem, newton_power_series_batch
 from repro.md import ComplexMD
 from repro.series import PowerSeries, random_series_vector
 
@@ -84,7 +84,7 @@ def _newton_sweep(system, initials, mode: str):
     for _ in range(REPETITIONS):
         start = time.perf_counter()
         results = newton_power_series_batch(
-            system, initials, max_iterations=ITERATIONS, mode=mode
+            system, initials, options=NewtonOptions(max_iterations=ITERATIONS, mode=mode)
         )
         best = min(best, time.perf_counter() - start)
     return best, results
@@ -154,7 +154,10 @@ def test_complex_tensor_newton_sweep():
     # uses internally): one pack for a whole Newton run.
     context = system.with_mode("vectorized").make_context(BATCH)
     newton_power_series_batch(
-        system, initials, max_iterations=ITERATIONS, mode="vectorized", context=context
+        system,
+        initials,
+        options=NewtonOptions(max_iterations=ITERATIONS, mode="vectorized"),
+        context=context
     )
     packs = context.packs
 

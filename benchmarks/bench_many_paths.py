@@ -1,0 +1,189 @@
+"""Benchmark of the adaptive masked many-path scheduler.
+
+The production workload of the paper is thousands of independent solution
+paths, a few percent of which are too stiff for the working precision.  The
+pre-PR answer was *lockstep with a global restart*: track the whole batch on
+one fixed grid at double doubles and, if anything failed, re-run the **whole
+batch** at quad doubles.  The adaptive scheduler instead masks converged
+paths out of the resident fleet, fails the stiff ones early, and re-runs
+*only those* as one lifted fleet — so the quad-double bill covers the hard
+subset alone.
+
+The workload is the retry family ``(x - u(t)) (x - 1)`` with
+``u(t) = 2 + B t^2``: the root ``x = u(t)`` carries a residual floor of
+roughly ``u^2 eps`` that double doubles cannot push below the tolerance near
+``t = 1`` (the hard 10%), while ``x = 1`` stays exact (the healthy 90%).
+The gate: the adaptive scheduler must beat the global-restart baseline by at
+least **2x** end to end, while converging every path and packing each fleet
+exactly once.  Results are persisted as a text table and machine-readable
+JSON (throughput, retry counts, step-count tail) under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import RESULTS_DIR, emit
+from repro.circuits import parse_polynomial
+from repro.homotopy import PolynomialSystem, RetryPolicy, TrackOptions, track_paths
+from repro.md import MultiDouble
+
+#: Fleet size (the acceptance run uses >= 1000; CI smoke may shrink it).
+PATHS = int(os.environ.get("BENCH_MANYPATH_PATHS", "1000"))
+#: Fraction of paths started on the stiff root.
+HARD_FRACTION = float(os.environ.get("BENCH_MANYPATH_HARD_FRACTION", "0.1"))
+#: Acceptance gate: adaptive tracking must beat lockstep-with-global-restart
+#: by this factor end to end.
+MIN_SPEEDUP = float(os.environ.get("BENCH_MANYPATH_MIN_SPEEDUP", "2.0"))
+
+DEGREE = 8
+STIFFNESS = 1.0e6
+TOLERANCE = 1.0e-22
+BASE_LIMBS = 2
+RETRY_LIMBS = 4
+
+
+def family(precision: int):
+    """``(x - u(t)) (x - 1) = 0`` with ``u(t) = 2 + B t^2`` at ``precision``."""
+
+    def md(value: float) -> MultiDouble:
+        return MultiDouble.from_float(float(value), precision)
+
+    def build(t0: float, degree: int) -> PolynomialSystem:
+        poly = parse_polynomial(
+            "x1^2 + x1", degree=degree, kind="md", precision=precision
+        )
+        u = [md(2.0 + STIFFNESS * t0 * t0), md(2.0 * STIFFNESS * t0), md(STIFFNESS)]
+        u += [md(0.0)] * (degree + 1 - len(u))
+        poly.constant.coefficients[:] = u
+        linear = next(m for m in poly.monomials if m.exponents == ((0, 1),))
+        negated = [-(c) for c in u]
+        negated[0] = -(md(1.0) + u[0])
+        linear.coefficient.coefficients[:] = negated
+        return PolynomialSystem([poly])
+
+    return build
+
+
+def _starts(paths: int, hard_fraction: float):
+    """Hard starts interleaved through the batch (every ``1/fraction``-th)."""
+    stride = max(1, round(1.0 / hard_fraction)) if hard_fraction > 0 else paths + 1
+    return [[2.0] if i % stride == 0 else [1.0] for i in range(paths)]
+
+
+def _options() -> TrackOptions:
+    return TrackOptions().override(
+        degree=DEGREE,
+        mode="vectorized",
+        step={"grow": 1.0},
+        newton={"max_iterations": 6, "tolerance": TOLERANCE},
+        retry=RetryPolicy(precision_ladder=(RETRY_LIMBS,), max_rejections=2),
+    )
+
+
+def _adaptive(starts):
+    options = _options()
+    begin = time.perf_counter()
+    report = track_paths(family(BASE_LIMBS), starts, options=options)
+    return time.perf_counter() - begin, report
+
+
+def _global_restart(starts):
+    """The baseline: lockstep at dd, then the WHOLE batch again at qd.
+
+    ``track_many`` on the fixed grid drops every stiff path; with no way to
+    retry individuals, the pre-PR recipe restarts the entire batch at the
+    next precision and keeps the high-precision results.
+    """
+    options = _options().override(scheduler="lockstep")
+    begin = time.perf_counter()
+    first = track_paths(family(BASE_LIMBS), starts, options=options)
+    failed = first.failed_indices
+    second = None
+    if failed:
+        second = track_paths(family(RETRY_LIMBS), starts, options=options)
+    elapsed = time.perf_counter() - begin
+    converged = (second or first).n_converged
+    return elapsed, {"first_failures": len(failed), "converged": converged}
+
+
+def _tail(steps: list[int]) -> dict:
+    ranked = sorted(steps)
+    return {
+        "min": ranked[0],
+        "median": ranked[len(ranked) // 2],
+        "p95": ranked[min(len(ranked) - 1, int(0.95 * len(ranked)))],
+        "max": ranked[-1],
+    }
+
+
+def test_many_paths_adaptive_vs_global_restart():
+    """The 2x gate: masked adaptive fleets vs lockstep with a global restart."""
+    starts = _starts(PATHS, HARD_FRACTION)
+    hard = sum(1 for s in starts if s[0] == 2.0)
+
+    adaptive_s, report = _adaptive(starts)
+    baseline_s, baseline = _global_restart(starts)
+    speedup = baseline_s / adaptive_s
+
+    summary = report.summary()
+    payload = {
+        "benchmark": "bench_many_paths",
+        "paths": PATHS,
+        "hard_paths": hard,
+        "min_speedup_gate": MIN_SPEEDUP,
+        "adaptive": {
+            "seconds": adaptive_s,
+            "paths_per_second": PATHS / adaptive_s,
+            "converged": report.n_converged,
+            "retries": report.total_retries,
+            "escalated": len(report.escalated_indices),
+            "packs": report.total_packs,
+            "fleets": summary["fleets"],
+            "steps_tail": _tail(summary["steps"]),
+            "rejections_total": sum(summary["rejections"]),
+        },
+        "global_restart": {
+            "seconds": baseline_s,
+            "paths_per_second": PATHS / baseline_s,
+            "first_pass_failures": baseline["first_failures"],
+            "converged": baseline["converged"],
+        },
+        "speedup": speedup,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "bench_many_paths.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    tail = payload["adaptive"]["steps_tail"]
+    lines = [
+        f"adaptive masked many-path tracker: {PATHS} paths ({hard} stiff), "
+        f"degree {DEGREE}, dd -> qd ladder",
+        f"  adaptive scheduler      : {adaptive_s:.2f} s "
+        f"({payload['adaptive']['paths_per_second']:.0f} paths/s), "
+        f"{report.total_retries} retries, {report.total_packs} packs "
+        f"across {len(report.fleets)} fleets",
+        f"  lockstep+global restart : {baseline_s:.2f} s "
+        f"({payload['global_restart']['paths_per_second']:.0f} paths/s), "
+        f"{baseline['first_failures']} first-pass failures -> full re-run",
+        f"  speedup                 : {speedup:.1f}x (gate {MIN_SPEEDUP:.1f}x)",
+        f"  step-count tail         : min {tail['min']}, median {tail['median']}, "
+        f"p95 {tail['p95']}, max {tail['max']}",
+    ]
+    emit("bench_many_paths", "\n".join(lines))
+
+    assert report.n_converged == PATHS, (
+        f"adaptive scheduler converged only {report.n_converged}/{PATHS} paths"
+    )
+    assert len(report.escalated_indices) == hard
+    assert report.total_retries == hard
+    # Masked residency: every fleet packs its slot tensor exactly once.
+    assert all(fleet["packs"] == 1 for fleet in report.fleets)
+    assert speedup >= MIN_SPEEDUP, (
+        f"adaptive scheduler only {speedup:.2f}x faster than lockstep with "
+        f"global restart (required {MIN_SPEEDUP:.2f}x)"
+    )

@@ -21,7 +21,13 @@ from __future__ import annotations
 import math
 
 from repro import parse_polynomial
-from repro.homotopy import PolynomialSystem, TaylorPathTracker, newton_power_series
+from repro.homotopy import (
+    NewtonOptions,
+    PolynomialSystem,
+    TaylorPathTracker,
+    TrackOptions,
+    newton_power_series,
+)
 from repro.series import PowerSeries
 
 DEGREE = 8
@@ -41,7 +47,9 @@ def main() -> None:
     # 1. One Newton run: the power-series expansion of the path at t = 0.
     system = build_system(0.0, DEGREE)
     start = [PowerSeries.constant(1.0, DEGREE), PowerSeries.constant(1.0, DEGREE)]
-    newton = newton_power_series(system, start, max_iterations=8, tolerance=1e-13)
+    newton = newton_power_series(
+        system, start, options=NewtonOptions(max_iterations=8, tolerance=1e-13)
+    )
     print("Newton on power series at t = 0")
     print(f"  converged in {newton.iterations} iterations, residual {newton.final_residual:.2e}")
     print("  x1(t) =", " + ".join(f"{c:+.6f} t^{k}" for k, c in enumerate(newton.solution[0].coefficients[:5])))
@@ -50,7 +58,10 @@ def main() -> None:
 
     # 2. Full path tracking from t = 0 to t = 1, with every Newton sweep on
     #    the tensorized NumPy backend (mode="vectorized").
-    tracker = TaylorPathTracker(build_system, degree=DEGREE, step=0.2, mode="vectorized")
+    tracker = TaylorPathTracker(
+        build_system,
+        options=TrackOptions().override(degree=DEGREE, step=0.2, mode="vectorized"),
+    )
     result = tracker.track([1.0, 1.0], 0.0, 1.0)
     print("\nTaylor path tracking, step 0.2 (vectorized backend)")
     print(f"  {'t':>5} {'x1':>12} {'exact sqrt(1 + t/2)':>22} {'residual':>12} {'Newton its':>11}")

@@ -78,6 +78,16 @@ from .core import (
     schedule_for_polynomial,
 )
 from .gpusim import DeviceSpec, TABLE1_DEVICES, get_device, GPUSimulator, TimingModel, TimingReport
+from .homotopy import (
+    NewtonOptions,
+    PathScheduler,
+    PathStatus,
+    RetryPolicy,
+    StepControl,
+    TrackManyReport,
+    TrackOptions,
+    track_paths,
+)
 
 __all__ = [
     "__version__",
@@ -121,4 +131,12 @@ __all__ = [
     "GPUSimulator",
     "TimingModel",
     "TimingReport",
+    "NewtonOptions",
+    "PathScheduler",
+    "PathStatus",
+    "RetryPolicy",
+    "StepControl",
+    "TrackManyReport",
+    "TrackOptions",
+    "track_paths",
 ]

@@ -84,9 +84,14 @@ class EvalContext:
         self._system_dirty = False
         self._packs = 0
         self._runs = 0
+        # Active-instance mask (None = every instance sweeps) and the
+        # optional per-instance evaluators of a fleet rebind.
+        self._active: np.ndarray | None = None
+        self._instance_evaluators: list | None = None
         # Row indices of the resident tensor, filled at pack time.
         self._var_rows: list[np.ndarray] | None = None
         self._work_rows: np.ndarray | None = None
+        self._work_per_instance: np.ndarray | None = None
         self._adjusted: list[tuple[int, int, int]] = []
         self._value_rows: np.ndarray | None = None
         self._grad_rows: np.ndarray | None = None
@@ -122,11 +127,53 @@ class EvalContext:
         """The packed tensor's ``(kind, limbs)`` ring, ``None`` before packing."""
         return self._ring
 
+    @property
+    def active(self) -> np.ndarray | None:
+        """Indices of the instances in flight (``None`` = the whole batch)."""
+        return self._active
+
+    def set_active(self, instances) -> None:
+        """Restrict sweeps and input updates to a subset of the batch.
+
+        ``instances`` is a sequence of instance indices, a boolean mask of
+        length ``batch``, or ``None`` to re-activate everyone.  Masked-out
+        instances keep their resident rows untouched: their inputs stop
+        being rewritten and :meth:`run_packed` neither zeroes nor recomputes
+        their work region, so their outputs go stale — exactly the residency
+        contract the many-path scheduler wants when paths converge or fail
+        out of a fleet without the survivors repacking.  Because every
+        tensor row operation is elementwise per instance, the active
+        instances' results are bit-identical to a full-batch sweep.
+        """
+        if instances is None:
+            self._active = None
+            return
+        mask = np.asarray(instances)
+        if mask.dtype == bool:
+            if mask.shape != (self._batch,):
+                raise StagingError(
+                    f"a boolean active mask needs shape ({self._batch},), got {mask.shape}"
+                )
+            mask = np.nonzero(mask)[0]
+        mask = np.unique(mask.astype(np.int64))
+        if mask.size and (mask[0] < 0 or mask[-1] >= self._batch):
+            raise StagingError(
+                f"active instance indices must lie in [0, {self._batch}), "
+                f"got [{mask[0]}, {mask[-1]}]"
+            )
+        self._active = mask
+
+    def _active_instances(self) -> np.ndarray:
+        if self._active is None:
+            return np.arange(self._batch, dtype=np.int64)
+        return self._active
+
     def __repr__(self) -> str:
         target = "resident" if self.resident else (self._delegate_to or "unpacked")
+        masked = "" if self._active is None else f", active={self._active.size}"
         return (
             f"EvalContext(batch={self._batch}, mode={self._evaluator.mode!r}, "
-            f"{target}, packs={self._packs}, runs={self._runs})"
+            f"{target}, packs={self._packs}, runs={self._runs}{masked})"
         )
 
     # ------------------------------------------------------------------ #
@@ -162,24 +209,37 @@ class EvalContext:
                 self._tensor = None
         if self._tensor is None:
             self._pack(zs)
-            return
+            if self._instance_evaluators is None or self._tensor is None:
+                return
+            # A fleet pack stamped instance 0's system into every instance
+            # (the batch packer knows only one evaluator); rewrite each
+            # instance's own system rows and fall through so the adjusted
+            # coefficients below come from each instance's system too.
+            self._system_dirty = True
         if self._system_dirty:
             self._rewrite_system_rows()
             self._system_dirty = False
         tensor = self._tensor
         stride = self._evaluator.fused.total_slots
         dimension = self._evaluator.dimension
-        polynomials = self._evaluator.polynomials
-        for b, z in enumerate(zs):
-            base = b * stride
+        for b in self._active_instances():
+            z = zs[b]
+            base = int(b) * stride
             for variable in range(dimension):
                 tensor.write_series(self._var_rows[variable] + base, z[variable])
             if self._adjusted:
+                polynomials = self._polynomials_of(int(b))
                 table = PowerTable(z)
                 for equation, monomial_index, row in self._adjusted:
                     monomial = polynomials[equation].monomials[monomial_index]
                     adjusted, _, _ = monomial.split_common_factor(z, table)
                     tensor.write_series((base + row,), adjusted)
+
+    def _polynomials_of(self, instance: int):
+        """The polynomial list evaluated at ``instance`` (fleet-aware)."""
+        if self._instance_evaluators is not None:
+            return self._instance_evaluators[instance].polynomials
+        return self._evaluator.polynomials
 
     def _pack(self, zs: list[list[PowerSeries]]) -> None:
         """First-time packing: choose the ring, pack, compile, index rows."""
@@ -222,6 +282,7 @@ class EvalContext:
         self._var_rows = [np.asarray(rows, dtype=np.int64) for rows in var_rows]
         bases = (np.arange(self._batch, dtype=np.int64) * fused.total_slots)[:, None]
         per_instance = np.concatenate(work).astype(np.int64)
+        self._work_per_instance = per_instance
         self._work_rows = (per_instance[None, :] + bases).reshape(-1)
         self._adjusted = adjusted
         # Output rows for the batched Newton consumers: one value row per
@@ -240,12 +301,29 @@ class EvalContext:
         Constant and multilinear-coefficient slots are input-independent, so
         one :meth:`write_series` per series covers all batch instances at
         once; non-multilinear adjusted coefficients are refreshed by
-        :meth:`update_inputs` anyway.
+        :meth:`update_inputs` anyway.  After a :meth:`rebind_fleet` each
+        instance carries its *own* structurally identical system; instances
+        sharing one evaluator object (the common case — a scheduler builds
+        one local system per distinct parameter value) still get one
+        :meth:`write_series` per series for the whole group.
         """
+        all_bases = np.arange(self._batch, dtype=np.int64) * self._evaluator.fused.total_slots
+        if self._instance_evaluators is None:
+            self._write_system_rows_for(self._evaluator, all_bases)
+            return
+        groups: dict[int, list[int]] = {}
+        evaluators: dict[int, object] = {}
+        for b, evaluator in enumerate(self._instance_evaluators):
+            groups.setdefault(id(evaluator), []).append(b)
+            evaluators[id(evaluator)] = evaluator
+        for key, instances in groups.items():
+            self._write_system_rows_for(evaluators[key], all_bases[instances])
+
+    def _write_system_rows_for(self, evaluator, bases: np.ndarray) -> None:
+        """One evaluator's constant/coefficient rows, at the given bases."""
         fused = self._evaluator.fused
-        bases = np.arange(self._batch, dtype=np.int64) * fused.total_slots
         for offset, schedule, polynomial in zip(
-            fused.offsets, fused.schedules, self._evaluator.polynomials
+            fused.offsets, fused.schedules, evaluator.polynomials
         ):
             layout = schedule.layout
             self._tensor.write_series(
@@ -303,8 +381,14 @@ class EvalContext:
             self._rewrite_system_rows()
             self._system_dirty = False
         tensor = self._tensor
-        tensor.zero_rows(self._work_rows)
-        self._program.run(tensor, self._batch)
+        if self._active is None:
+            tensor.zero_rows(self._work_rows)
+            self._program.run(tensor, self._batch)
+        else:
+            stride = self._evaluator.fused.total_slots
+            bases = (self._active * stride)[:, None]
+            tensor.zero_rows((self._work_per_instance[None, :] + bases).reshape(-1))
+            self._program.run(tensor, self._batch, active=self._active)
         self._runs += 1
         evaluator = self._evaluator
         kind, limbs = self._ring
@@ -313,6 +397,7 @@ class EvalContext:
             "ring": kind,
             "limbs": limbs,
             "batch": self._batch,
+            "active": self._batch if self._active is None else int(self._active.size),
             "convolution_jobs": evaluator.fused.convolution_job_count,
             "addition_jobs": evaluator.fused.addition_job_count,
             "launches": self._program.launches,
@@ -421,14 +506,44 @@ class EvalContext:
     def _delegate(self, values_only: bool):
         """Run through the evaluator's per-call mode dispatch (non-tensor
         modes and ring fallbacks), so delegated runs cannot drift from
-        :meth:`repro.core.SystemEvaluator.evaluate_batch`."""
-        results = self._evaluator._dispatch(self._zs, mode=self._delegate_to)
+        :meth:`repro.core.SystemEvaluator.evaluate_batch`.
+
+        With an active mask only the active instances are evaluated (the
+        per-call path pays per instance, so masking is a real saving here);
+        the returned list still has one entry per batch instance, with
+        ``None`` at masked-out positions.  After a :meth:`rebind_fleet`
+        every instance dispatches through its own evaluator, grouped so
+        instances sharing one evaluator sweep as one batch.
+        """
+        if self._active is None and self._instance_evaluators is None:
+            results = self._evaluator._dispatch(self._zs, mode=self._delegate_to)
+        else:
+            instances = [int(b) for b in self._active_instances()]
+            results = [None] * self._batch
+            groups: dict[int, list[int]] = {}
+            evaluators: dict[int, object] = {}
+            for b in instances:
+                evaluator = (
+                    self._evaluator
+                    if self._instance_evaluators is None
+                    else self._instance_evaluators[b]
+                )
+                groups.setdefault(id(evaluator), []).append(b)
+                evaluators[id(evaluator)] = evaluator
+            for key, members in groups.items():
+                rows = evaluators[key]._dispatch(
+                    [self._zs[b] for b in members], mode=self._delegate_to
+                )
+                for b, row in zip(members, rows):
+                    results[b] = row
         self._runs += 1
         if self._delegate_to == "gpu":
             self._annotate_gpu_residency(results)
         if values_only:
             results = [
-                [
+                None
+                if row is None
+                else [
                     EvaluationResult(value=r.value, gradient=[], metadata=r.metadata)
                     for r in row
                 ]
@@ -446,14 +561,18 @@ class EvalContext:
         """
         from ..gpusim.timing import TimingModel
 
+        rows = [row for row in results if row is not None]
+        if not rows:
+            return
         fused = self._evaluator.fused
-        limbs = results[0][0].metadata.get("precision_limbs", 2)
+        limbs = rows[0][0].metadata.get("precision_limbs", 2)
         model = TimingModel(device=self._evaluator.device, precision=limbs)
-        input_series = fused.input_slot_count * self._batch
-        update_series = fused.variable_slot_count * self._batch
+        evaluated = len(rows)
+        input_series = fused.input_slot_count * evaluated
+        update_series = fused.variable_slot_count * evaluated
         n_series = input_series if self._runs == 1 else update_series
         transfer_ms = model.transfer_ms(n_series, fused.degree)
-        for row in results:
+        for row in rows:
             for result in row:
                 result.metadata["resident_transfer"] = {
                     "run": self._runs,
@@ -473,21 +592,60 @@ class EvalContext:
         unsupported one), the tensor is dropped and the next update packs —
         or falls back — afresh.
         """
-        if evaluator is self._evaluator:
+        if evaluator is self._evaluator and self._instance_evaluators is None:
             return self
         if evaluator._structure_key != self._evaluator._structure_key:
             raise StagingError(
                 "EvalContext.rebind needs a structurally identical system"
             )
+        self._instance_evaluators = None
+        self._retarget(evaluator, [evaluator])
+        return self
+
+    def rebind_fleet(self, evaluators) -> "EvalContext":
+        """Re-target every batch instance at its *own* local system.
+
+        ``evaluators`` carries one structurally identical evaluator per
+        batch instance — the shape of a many-path scheduler where each path
+        sits at its own parameter value, so each instance's local system has
+        its own constant/coefficient series.  The resident tensor and the
+        compiled program survive (the structure is shared); each instance's
+        system rows are rewritten in place on the next update, grouped so
+        instances that share one evaluator object (paths at the same
+        parameter value) cost one write per series for the whole group.
+        """
+        evaluators = list(evaluators)
+        if len(evaluators) != self._batch:
+            raise StagingError(
+                f"rebind_fleet needs one evaluator per batch instance "
+                f"({self._batch}), got {len(evaluators)}"
+            )
+        key = self._evaluator._structure_key
+        for evaluator in evaluators:
+            if evaluator._structure_key != key:
+                raise StagingError(
+                    "EvalContext.rebind_fleet needs structurally identical systems"
+                )
+        self._instance_evaluators = evaluators
+        self._retarget(evaluators[0], evaluators)
+        return self
+
+    def _retarget(self, evaluator, ring_sources) -> None:
+        """Shared rebind plumbing: mode, ring compatibility, dirty flags."""
         self._evaluator = evaluator
         self._delegate_to = None if evaluator.mode == "vectorized" else evaluator.mode
         if self._delegate_to is None and self._tensor is not None:
-            system_ring = evaluator._ring_of_system()
-            if system_ring is None or join_rings(system_ring, self._ring) != self._ring:
+            joined = self._ring
+            for source in {id(s): s for s in ring_sources}.values():
+                system_ring = source._ring_of_system()
+                if system_ring is None:
+                    joined = None
+                    break
+                joined = join_rings(system_ring, joined)
+            if joined != self._ring:
                 self._tensor = None
                 self._program = None
                 self._ring = None
             else:
                 self._system_dirty = True
         self._zs = None
-        return self

@@ -705,7 +705,10 @@ class TensorProgram:
         return len(self.layers)
 
     def run(
-        self, tensor: "SlotTensor | ComplexSlotTensor", batch: int
+        self,
+        tensor: "SlotTensor | ComplexSlotTensor",
+        batch: int,
+        active: np.ndarray | None = None,
     ) -> "SlotTensor | ComplexSlotTensor":
         """Execute every fused layer on the packed slot tensor, in place.
 
@@ -716,17 +719,33 @@ class TensorProgram:
         index arrays are ring-agnostic: a :class:`SlotTensor` runs the real
         sweeps, a :class:`ComplexSlotTensor` the complex ones (each complex
         sweep decomposing into a few real sweeps over the paired planes).
+
+        ``active`` optionally restricts the sweep to a subset of instance
+        indices: only their rows are gathered, computed and scattered —
+        rows belonging to masked-out instances are untouched.  The row
+        operations are elementwise per instance, so an active instance's
+        results are bit-identical whether or not the others sweep alongside
+        it; this is what lets the many-path scheduler keep a shrinking fleet
+        resident in one packed tensor instead of repacking survivors.
         """
         if tensor.rows != batch * self.total_slots:
             raise ValueError(
                 f"tensor has {tensor.rows} rows, expected "
                 f"{batch} x {self.total_slots}"
             )
+        if active is not None:
+            active = np.asarray(active, dtype=np.int64)
+            if active.size and (active.min() < 0 or active.max() >= batch):
+                raise ValueError(
+                    f"active instance indices must lie in [0, {batch}), got "
+                    f"[{active.min()}, {active.max()}]"
+                )
         if tensor.is_complex:
-            return self._run_complex(tensor, batch)
+            return self._run_complex(tensor, batch, active)
         data = tensor.data
         limbs = tensor.limbs
-        bases = (np.arange(batch, dtype=np.int64) * self.total_slots)[:, None]
+        instances = np.arange(batch, dtype=np.int64) if active is None else active
+        bases = (instances * self.total_slots)[:, None]
         for layer in self.layers:
             out_rows = (layer.out[None, :] + bases).reshape(-1)
             if layer.kind == "convolution":
@@ -736,7 +755,7 @@ class TensorProgram:
                     data[:, in1_rows, :], data[:, in2_rows, :], limbs
                 )
             elif layer.kind == "scale":
-                factors = np.tile(layer.factors, batch)[:, None]  # (m, 1)
+                factors = np.tile(layer.factors, len(instances))[:, None]  # (m, 1)
                 gathered = [data[i, out_rows, :] for i in range(limbs)]
                 scaled = md_scale_rows(gathered, factors, limbs)
                 for i in range(limbs):
@@ -750,12 +769,15 @@ class TensorProgram:
                     data[i, out_rows, :] = summed[i]
         return tensor
 
-    def _run_complex(self, tensor: "ComplexSlotTensor", batch: int) -> "ComplexSlotTensor":
+    def _run_complex(
+        self, tensor: "ComplexSlotTensor", batch: int, active: np.ndarray | None = None
+    ) -> "ComplexSlotTensor":
         """The complex layer sweeps: same index arrays, paired limb planes."""
         real = tensor.real
         imag = tensor.imag
         limbs = tensor.limbs
-        bases = (np.arange(batch, dtype=np.int64) * self.total_slots)[:, None]
+        instances = np.arange(batch, dtype=np.int64) if active is None else active
+        bases = (instances * self.total_slots)[:, None]
         for layer in self.layers:
             out_rows = (layer.out[None, :] + bases).reshape(-1)
             if layer.kind == "convolution":
@@ -771,7 +793,7 @@ class TensorProgram:
                 real[:, out_rows, :] = out_r
                 imag[:, out_rows, :] = out_i
             elif layer.kind == "scale":
-                factors = np.tile(layer.factors, batch)[:, None]  # (m, 1)
+                factors = np.tile(layer.factors, len(instances))[:, None]  # (m, 1)
                 scaled_r, scaled_i = cmd_scale_rows(
                     [real[i, out_rows, :] for i in range(limbs)],
                     [imag[i, out_rows, :] for i in range(limbs)],

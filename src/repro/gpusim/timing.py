@@ -214,6 +214,64 @@ class TimingModel:
             "transfer_saved_ms": repack - resident,
         }
 
+    def predict_masked(
+        self,
+        schedule,
+        batch: int,
+        active: int,
+        steps: int = 1,
+        planes: int = 1,
+    ) -> dict:
+        """Price ``steps`` masked sweeps of a shrinking resident fleet.
+
+        The many-path scheduler keeps a fleet of ``batch`` instances packed
+        and sweeps only the ``active`` ones still in flight
+        (:meth:`repro.core.EvalContext.set_active`).  On the device this
+        means every launch carries ``active`` instances' worth of blocks
+        instead of ``batch`` — fewer waves per launch, same launch count —
+        and each step's input update re-sends only the active instances'
+        variable slots.  The returned dictionary compares the masked sweep
+        against the full-batch alternative (the cost of *not* masking, i.e.
+        sweeping converged and failed instances along), which is the number
+        the scheduler's shrinking-active-set saving should be judged by.
+
+        ``schedule`` must be a fused :class:`repro.core.FusedSystemSchedule`
+        (it knows its variable slots); ``planes = 2`` accounts complex data.
+        """
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        if not 0 <= active <= batch:
+            raise ValueError(
+                f"active must lie in [0, batch] = [0, {batch}], got {active}"
+            )
+        full_step = self.predict(schedule, batch=batch)
+        masked_step = self.predict(schedule, batch=active) if active else None
+        update_series_full = schedule.variable_slot_count * batch
+        update_series_active = schedule.variable_slot_count * active
+        full_update_ms = self.transfer_ms(update_series_full, schedule.degree, planes)
+        masked_update_ms = self.transfer_ms(update_series_active, schedule.degree, planes)
+        masked_wall = masked_step.wall_clock_ms if masked_step else 0.0
+        masked_kernel = masked_step.sum_ms if masked_step else 0.0
+        full = steps * (full_step.wall_clock_ms + full_update_ms)
+        masked = steps * (masked_wall + masked_update_ms)
+        return {
+            "steps": steps,
+            "batch": batch,
+            "active": active,
+            "planes": planes,
+            "kernel_ms_per_full_step": full_step.sum_ms,
+            "kernel_ms_per_masked_step": masked_kernel,
+            "wall_ms_per_full_step": full_step.wall_clock_ms,
+            "wall_ms_per_masked_step": masked_wall,
+            "update_transfer_full_ms": full_update_ms,
+            "update_transfer_masked_ms": masked_update_ms,
+            "full_wall_ms": full,
+            "masked_wall_ms": masked,
+            "masked_saved_ms": full - masked,
+        }
+
     def predict_solve(self, dimension: int, degree: int, batch: int = 1) -> TimingReport:
         """Predicted launch sequence of one batched series linear solve.
 

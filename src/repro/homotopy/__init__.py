@@ -1,6 +1,6 @@
 """The motivating application: power-series Newton and path tracking."""
 
-from .systems import PolynomialSystem
+from .systems import PolynomialSystem, lift_value
 from .linsolve import lu_solve, matrix_vector_product, residual_norm
 from .batch_linsolve import (
     batch_lu_solve,
@@ -8,11 +8,20 @@ from .batch_linsolve import (
     batch_lu_solve_tensor_complex,
     solve_packed,
 )
+from .options import (
+    DEFAULT_TRACK_OPTIONS,
+    NewtonOptions,
+    RetryPolicy,
+    StepControl,
+    TrackOptions,
+)
 from .newton import NewtonStep, NewtonResult, newton_power_series, newton_power_series_batch
-from .pathtrack import PathPoint, PathTrackResult, TaylorPathTracker
+from .pathtrack import PathPoint, PathTrackResult, TaylorPathTracker, align_path_points
+from .scheduler import PathScheduler, PathStatus, TrackManyReport, track_paths
 
 __all__ = [
     "PolynomialSystem",
+    "lift_value",
     "lu_solve",
     "matrix_vector_product",
     "residual_norm",
@@ -20,6 +29,11 @@ __all__ = [
     "batch_lu_solve_tensor",
     "batch_lu_solve_tensor_complex",
     "solve_packed",
+    "DEFAULT_TRACK_OPTIONS",
+    "NewtonOptions",
+    "RetryPolicy",
+    "StepControl",
+    "TrackOptions",
     "NewtonStep",
     "NewtonResult",
     "newton_power_series",
@@ -27,4 +41,9 @@ __all__ = [
     "PathPoint",
     "PathTrackResult",
     "TaylorPathTracker",
+    "align_path_points",
+    "PathScheduler",
+    "PathStatus",
+    "TrackManyReport",
+    "track_paths",
 ]

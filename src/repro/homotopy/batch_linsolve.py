@@ -418,14 +418,47 @@ def batch_lu_solve_tensor_complex(
 # --------------------------------------------------------------------- #
 # dispatch helpers
 # --------------------------------------------------------------------- #
-def solve_packed(matrix, rhs, limbs: int):
+def solve_packed(matrix, rhs, limbs: int, active: Sequence[int] | None = None):
     """Dispatch packed tensors to the real or complex batched solver.
 
     ``matrix``/``rhs`` are either plain limb tensors (real rings) or
     ``(real, imag)`` plane pairs (complex rings) — the shapes a resident
     :meth:`repro.core.EvalContext.newton_system` gathers; the result has the
     same form as ``rhs``.
+
+    ``active`` optionally restricts the solve to a subset of batch-axis
+    instances: only their systems are gathered and eliminated, the rest of
+    the result stays exactly zero (shape-preserving, so callers can keep
+    indexing by original instance).  Singular instances are reported by
+    their *original* batch positions.  Because every elimination sweep is
+    elementwise per instance, an active instance's solution is bit-identical
+    whether or not the others solve alongside it.
     """
+    if active is not None:
+        indices = np.asarray(list(active), dtype=np.int64)
+        if isinstance(matrix, tuple):
+            sub_matrix = (matrix[0][:, indices], matrix[1][:, indices])
+            sub_rhs = (rhs[0][:, indices], rhs[1][:, indices])
+        else:
+            sub_matrix = matrix[:, indices]
+            sub_rhs = rhs[:, indices]
+        try:
+            solved = solve_packed(sub_matrix, sub_rhs, limbs)
+        except SingularSystemError as error:
+            original = [int(indices[i]) for i in getattr(error, "instances", [])]
+            remapped = SingularSystemError(
+                "zero pivot for batch instance(s) " + ", ".join(map(str, original))
+            )
+            remapped.instances = original
+            raise remapped from error
+        if isinstance(rhs, tuple):
+            out = (np.zeros_like(rhs[0]), np.zeros_like(rhs[1]))
+            out[0][:, indices] = solved[0]
+            out[1][:, indices] = solved[1]
+            return out
+        out = np.zeros_like(rhs)
+        out[:, indices] = solved
+        return out
     if isinstance(matrix, tuple):
         return batch_lu_solve_tensor_complex(matrix[0], matrix[1], rhs[0], rhs[1], limbs)
     return batch_lu_solve_tensor(matrix, rhs, limbs)
@@ -434,7 +467,8 @@ def solve_packed(matrix, rhs, limbs: int):
 def batch_lu_solve(
     matrices: Sequence[Sequence[Sequence[PowerSeries]]],
     rhss: Sequence[Sequence[PowerSeries]],
-) -> list[list[PowerSeries]]:
+    active: Sequence[int] | None = None,
+) -> list[list[PowerSeries] | None]:
     """Solve a batch of series systems given as nested :class:`PowerSeries`.
 
     Packs every instance's matrix and right-hand side into one limb tensor
@@ -444,11 +478,39 @@ def batch_lu_solve(
     per-instance results are bit-identical to scalar :func:`lu_solve`.  Rings
     the tensor cannot carry (exact fractions) fall back to the scalar oracle
     per instance.
+
+    ``active`` optionally names the batch positions to solve: masked-out
+    instances never reach the solver (their singular systems cannot raise)
+    and come back as ``None`` in the result list, which keeps one entry per
+    input instance.  Singular active instances are reported by their
+    original batch positions.
     """
     if len(matrices) != len(rhss):
         raise ValueError(
             f"got {len(matrices)} matrices for {len(rhss)} right-hand sides"
         )
+    if active is not None:
+        indices = sorted({int(i) for i in active})
+        if indices and (indices[0] < 0 or indices[-1] >= len(matrices)):
+            raise ValueError(
+                f"active instance indices must lie in [0, {len(matrices)}), "
+                f"got [{indices[0]}, {indices[-1]}]"
+            )
+        try:
+            solved = batch_lu_solve(
+                [matrices[i] for i in indices], [rhss[i] for i in indices]
+            )
+        except SingularSystemError as error:
+            original = [indices[i] for i in getattr(error, "instances", [])]
+            remapped = SingularSystemError(
+                "zero pivot for batch instance(s) " + ", ".join(map(str, original))
+            )
+            remapped.instances = original
+            raise remapped from error
+        results: list[list[PowerSeries] | None] = [None] * len(matrices)
+        for position, solution in zip(indices, solved):
+            results[position] = solution
+        return results
     if not matrices:
         return []
     n = len(rhss[0])

@@ -22,6 +22,7 @@ even that single pack amortised across steps.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -29,9 +30,38 @@ from ..errors import ConvergenceError, SingularSystemError, StagingError
 from ..series.series import PowerSeries
 from .batch_linsolve import solve_packed
 from .linsolve import lu_solve, residual_norm
+from .options import NewtonOptions
 from .systems import PolynomialSystem
 
 __all__ = ["NewtonStep", "NewtonResult", "newton_power_series", "newton_power_series_batch"]
+
+
+def _resolve_newton_options(options: NewtonOptions | None, **legacy) -> NewtonOptions:
+    """Layer the deprecated per-keyword knobs into one :class:`NewtonOptions`.
+
+    ``options`` wins when given (mixing it with legacy keywords is an
+    error, since the two could silently disagree); legacy keywords build an
+    equivalent options object — bit-identical behaviour — and emit one
+    :class:`DeprecationWarning`.
+    """
+    given = {key: value for key, value in legacy.items() if value is not None}
+    if options is not None:
+        if given:
+            raise ValueError(
+                "pass either options= or the legacy keywords "
+                f"({', '.join(sorted(given))}), not both"
+            )
+        return options
+    if given:
+        warnings.warn(
+            "the per-keyword Newton knobs (max_iterations, tolerance, "
+            "raise_on_failure, mode, solver) are deprecated; pass "
+            "options=NewtonOptions(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return NewtonOptions(**given)
+    return NewtonOptions()
 
 
 @dataclass(frozen=True)
@@ -83,10 +113,11 @@ def _ensure_context(system: PolynomialSystem, batch: int, context):
 def newton_power_series(
     system: PolynomialSystem,
     initial: Sequence[PowerSeries],
-    max_iterations: int = 8,
-    tolerance: float = 0.0,
-    raise_on_failure: bool = False,
+    max_iterations: int | None = None,
+    tolerance: float | None = None,
+    raise_on_failure: bool | None = None,
     context=None,
+    options: NewtonOptions | None = None,
 ) -> NewtonResult:
     """Refine a power-series solution of ``system`` by Newton iteration.
 
@@ -98,20 +129,30 @@ def newton_power_series(
         Starting series; the constant terms should solve the system at
         ``t = 0`` for the textbook quadratic convergence, but the iteration
         is run regardless.
-    max_iterations:
-        Upper bound on the number of Newton steps.
-    tolerance:
-        Stop early once the residual norm (largest coefficient of ``F(z)``,
-        rounded to a double) drops to or below this value.
-    raise_on_failure:
-        If True, raise :class:`repro.errors.ConvergenceError` when the
-        tolerance is not reached within ``max_iterations``.
+    options:
+        A :class:`repro.homotopy.options.NewtonOptions` carrying the
+        iteration bound, the residual tolerance (largest coefficient of
+        ``F(z)`` rounded to a double) and the failure policy
+        (:class:`repro.errors.ConvergenceError` on a missed tolerance when
+        ``raise_on_failure`` is set).  Defaults to ``NewtonOptions()``.
+    max_iterations, tolerance, raise_on_failure:
+        Deprecated per-keyword forms of the same knobs; they build an
+        equivalent options object (bit-identical results) and warn.
     context:
         An optional resident :class:`repro.core.EvalContext` (batch 1) to
         evaluate through — the path tracker passes one so consecutive steps
         share a single packed tensor.  Without one, a context is created
         for this refinement, so the whole iteration still packs only once.
     """
+    options = _resolve_newton_options(
+        options,
+        max_iterations=max_iterations,
+        tolerance=tolerance,
+        raise_on_failure=raise_on_failure,
+    )
+    max_iterations = options.max_iterations
+    tolerance = options.tolerance
+    raise_on_failure = options.raise_on_failure
     if not system.is_square:
         raise ConvergenceError(
             f"Newton needs a square system, got {system.n_equations} equations "
@@ -149,12 +190,13 @@ def newton_power_series(
 def newton_power_series_batch(
     system: PolynomialSystem,
     initials: Sequence[Sequence[PowerSeries]],
-    max_iterations: int = 8,
-    tolerance: float = 0.0,
-    raise_on_failure: bool = False,
+    max_iterations: int | None = None,
+    tolerance: float | None = None,
+    raise_on_failure: bool | None = None,
     mode: str | None = None,
-    solver: str = "auto",
+    solver: str | None = None,
     context=None,
+    options: NewtonOptions | None = None,
 ) -> list[NewtonResult]:
     """Refine several power-series solutions of ``system`` in one batched sweep.
 
@@ -176,26 +218,39 @@ def newton_power_series_batch(
     :func:`repro.homotopy.batch_linsolve.solve_packed` — bit-identical to
     per-instance :func:`lu_solve` at double-double precision.
 
-    ``mode`` re-targets the system's execution mode for this refinement
-    (e.g. ``mode="vectorized"`` runs every sweep through the tensorized
-    NumPy backend); ``None`` keeps the system's own mode.  ``solver`` picks
-    the linear-solve path: ``"auto"`` (default) uses the batched tensor
-    solver whenever the context is resident and the scalar oracle
-    otherwise, ``"scalar"`` forces per-instance :func:`lu_solve` (the
-    oracle, and the only path for staged/fraction/delegating contexts), and
-    ``"batched"`` requires residency, raising
-    :class:`repro.errors.StagingError` when the context delegates.
-    ``context`` optionally supplies a caller-held resident context (the
-    path tracker shares one across its steps); it must match the batch
-    size, otherwise a fresh context is created.
+    All knobs travel in one :class:`repro.homotopy.options.NewtonOptions`
+    (``options=``); the per-keyword forms below are deprecated shims that
+    build an equivalent object (bit-identical results) and warn.
+    ``options.mode`` re-targets the system's execution mode for this
+    refinement (e.g. ``"vectorized"`` runs every sweep through the
+    tensorized NumPy backend); ``None`` keeps the system's own mode.
+    ``options.solver`` picks the linear-solve path: ``"auto"`` (default)
+    uses the batched tensor solver whenever the context is resident and the
+    scalar oracle otherwise, ``"scalar"`` forces per-instance
+    :func:`lu_solve` (the oracle, and the only path for
+    staged/fraction/delegating contexts), and ``"batched"`` requires
+    residency, raising :class:`repro.errors.StagingError` when the context
+    delegates.  ``context`` optionally supplies a caller-held resident
+    context (the path tracker shares one across its steps); it must match
+    the batch size, otherwise a fresh context is created.
 
     Returns one :class:`NewtonResult` per initial vector, in order.  With
-    ``raise_on_failure`` a :class:`repro.errors.ConvergenceError` is raised
-    when any instance misses the tolerance.
+    ``options.raise_on_failure`` a :class:`repro.errors.ConvergenceError` is
+    raised when any instance misses the tolerance.
     """
-    if solver not in ("auto", "batched", "scalar"):
-        raise ValueError(f"solver must be 'auto', 'batched' or 'scalar', got {solver!r}")
-    system = system.with_mode(mode)
+    options = _resolve_newton_options(
+        options,
+        max_iterations=max_iterations,
+        tolerance=tolerance,
+        raise_on_failure=raise_on_failure,
+        mode=mode,
+        solver=solver,
+    )
+    max_iterations = options.max_iterations
+    tolerance = options.tolerance
+    raise_on_failure = options.raise_on_failure
+    solver = options.solver
+    system = system.with_mode(options.mode)
     if not system.is_square:
         raise ConvergenceError(
             f"Newton needs a square system, got {system.n_equations} equations "

@@ -15,6 +15,7 @@ with PHCpack.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Callable, Sequence
@@ -22,9 +23,15 @@ from typing import Callable, Sequence
 from ..errors import ConvergenceError
 from ..series.series import PowerSeries
 from .newton import _ensure_context, newton_power_series, newton_power_series_batch
+from .options import TrackOptions
 from .systems import PolynomialSystem
 
-__all__ = ["PathPoint", "PathTrackResult", "TaylorPathTracker"]
+__all__ = [
+    "PathPoint",
+    "PathTrackResult",
+    "TaylorPathTracker",
+    "align_path_points",
+]
 
 #: Relative slack within which an accumulated parameter value is considered
 #: to have reached the end of the track.  Repeated ``t += h`` accumulation
@@ -64,37 +71,76 @@ class TaylorPathTracker:
     system_builder:
         Callable ``(t0, degree) -> PolynomialSystem`` returning the local
         system whose series variable is the offset ``s = t - t0``.
-    degree:
-        Truncation degree of the local power-series expansions.
-    step:
-        Parameter step ``h`` taken after each accepted expansion.
-    newton_iterations, tolerance:
-        Passed to :func:`repro.homotopy.newton_power_series`.
-    mode:
-        When set, every system the builder produces is re-targeted at this
-        execution mode (``"vectorized"`` puts all Newton sweeps on the
-        tensorized NumPy backend); ``None`` keeps the builder's choice.
+    options:
+        A :class:`repro.homotopy.options.TrackOptions` carrying every knob
+        (series degree, step size, Newton iteration bound and tolerance,
+        execution mode).  Defaults to the tracker's historical settings.
+    degree, step, newton_iterations, tolerance, mode:
+        Deprecated per-keyword forms of the same knobs; they build an
+        equivalent options object (bit-identical results) and warn.
     """
 
     def __init__(
         self,
         system_builder: Callable[[float, int], PolynomialSystem],
-        degree: int = 8,
-        step: float = 0.1,
-        newton_iterations: int = 6,
-        tolerance: float = 1.0e-10,
+        degree: int | None = None,
+        step: float | None = None,
+        newton_iterations: int | None = None,
+        tolerance: float | None = None,
         mode: str | None = None,
+        options: TrackOptions | None = None,
     ):
-        if degree < 1:
-            raise ValueError("the tracker needs degree >= 1 to advance")
-        if not 0.0 < step:
-            raise ValueError("the step must be positive")
+        legacy = {
+            key: value
+            for key, value in {
+                "degree": degree,
+                "step": step,
+                "newton_iterations": newton_iterations,
+                "tolerance": tolerance,
+                "mode": mode,
+            }.items()
+            if value is not None
+        }
+        if options is not None:
+            if legacy:
+                raise ValueError(
+                    "pass either options= or the legacy keywords "
+                    f"({', '.join(sorted(legacy))}), not both"
+                )
+        else:
+            options = TrackOptions()
+            if legacy:
+                warnings.warn(
+                    "the per-keyword tracker knobs (degree, step, "
+                    "newton_iterations, tolerance, mode) are deprecated; pass "
+                    "options=TrackOptions(...) instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                options = options.override(**legacy)
         self.system_builder = system_builder
-        self.degree = degree
-        self.step = step
-        self.newton_iterations = newton_iterations
-        self.tolerance = tolerance
-        self.mode = mode
+        self.options = options
+
+    # Historical read-only attribute names, derived from the options object.
+    @property
+    def degree(self) -> int:
+        return self.options.degree
+
+    @property
+    def step(self) -> float:
+        return self.options.step.initial
+
+    @property
+    def newton_iterations(self) -> int:
+        return self.options.newton.max_iterations
+
+    @property
+    def tolerance(self) -> float:
+        return self.options.newton.tolerance
+
+    @property
+    def mode(self) -> str | None:
+        return self.options.mode
 
     def _build_system(self, t: float) -> PolynomialSystem:
         """The local system at ``t``, re-targeted at the tracker's mode."""
@@ -138,8 +184,7 @@ class TaylorPathTracker:
             newton = newton_power_series(
                 system,
                 initial,
-                max_iterations=self.newton_iterations,
-                tolerance=self.tolerance,
+                options=self.options.newton,
                 context=context,
             )
             residual = newton.final_residual
@@ -200,8 +245,7 @@ class TaylorPathTracker:
             newtons = newton_power_series_batch(
                 system,
                 initials,
-                max_iterations=self.newton_iterations,
-                tolerance=self.tolerance,
+                options=self.options.newton,
                 context=context,
             )
             at_end = t >= t_end
@@ -232,6 +276,30 @@ class TaylorPathTracker:
             active = survivors
             t = _advance(t, h, t_end)
         return results
+
+
+def align_path_points(
+    results: Sequence[PathTrackResult], fill=None
+) -> list[list[PathPoint | None]]:
+    """Align per-path :class:`PathPoint` histories into one rectangular table.
+
+    ``results`` is the input-ordered list a many-path run returns
+    (:meth:`TaylorPathTracker.track_many` or the adaptive scheduler's
+    report).  Paths finish at different step counts — failed paths stop
+    early, adaptive paths reject and re-step — so the histories are ragged;
+    this pads every column to the longest history with ``fill``.  Row ``k``
+    of the returned table holds the ``k``-th accepted point of every path
+    (still in input order), the shape plotting and tail-latency analyses
+    want.
+    """
+    longest = max((len(result.points) for result in results), default=0)
+    return [
+        [
+            result.points[k] if k < len(result.points) else fill
+            for result in results
+        ]
+        for k in range(longest)
+    ]
 
 
 def _advance(t: float, h: float, t_end: float) -> float:

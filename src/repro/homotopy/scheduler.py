@@ -1,0 +1,688 @@
+"""The adaptive masked many-path scheduler with precision-escalation retries.
+
+:meth:`repro.homotopy.TaylorPathTracker.track_many` steps every path across
+one fixed parameter grid in lockstep: a single hard path shrinks the batch
+(one repack per dropout) or fails outright, and there is no way back once a
+refinement misses the tolerance.  The production workload of the paper —
+thousands to millions of independent solution paths — needs the opposite
+shape, and this module provides it:
+
+* **per-path adaptive steps** — every path carries its own step size ``h``,
+  grown when Newton converges fast (few iterations) and shrunk when a trial
+  point is rejected, under the :class:`repro.homotopy.options.StepControl`
+  policy.  ``grow = 1.0`` disables growth and makes healthy paths reproduce
+  the lockstep grid bit for bit;
+* **masked residency** — the whole fleet stays packed in one resident
+  :class:`repro.core.EvalContext` for the entire track.  Paths that converge,
+  fail, or merely sit out a Newton iteration are masked out of the sweeps
+  (:meth:`repro.core.EvalContext.set_active`) and of the batched linear solve
+  (the ``active`` mask of :func:`repro.homotopy.batch_linsolve.solve_packed`)
+  instead of being repacked away — the surviving batch packs its slot tensor
+  **once**, which the test suite asserts.  Because every tensor row operation
+  is elementwise per instance, masking cannot change any surviving path's
+  bits;
+* **a fleet of local systems in one tensor** — after the first rejection the
+  paths sit at *different* parameter values, so each instance needs its own
+  local system.  :meth:`repro.core.EvalContext.rebind_fleet` rewrites each
+  instance's constant/coefficient rows in place (grouped by shared system, so
+  synchronized paths cost one write per series), keeping the tensor and the
+  compiled program resident;
+* **divergence, singularity and path-crossing detection** — residuals or
+  solution values beyond :attr:`RetryPolicy.divergence_threshold` fail a path
+  immediately, singular Newton systems drop only the offending instances from
+  the batched elimination (the rest of the fleet solves on), and optionally
+  converged paths that land on the same endpoint are flagged as crossings;
+* **precision escalation** — every failed path is collected and re-run as a
+  fresh fleet at the next limb count of :attr:`RetryPolicy.precision_ladder`,
+  with the system family and start values lifted exactly
+  (:func:`repro.homotopy.systems.lift_value`).  Lifted systems share the
+  original's polynomial structure, so they hit the same memoised schedules
+  and compiled tensor programs — escalation restages nothing.
+
+Every path's journey is recorded in a :class:`PathStatus` (steps, rejections,
+retries, final precision, failure reason) and the fleet's in a
+:class:`TrackManyReport`; the front door is :func:`track_paths` (exported as
+``repro.track_paths``), configured by one frozen
+:class:`repro.homotopy.options.TrackOptions` object.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.tensor import infer_ring
+from ..errors import ConvergenceError, SingularSystemError, StagingError
+from ..md.complexmd import ComplexMD
+from ..md.multidouble import MultiDouble
+from ..series.series import PowerSeries
+from .linsolve import lu_solve, residual_norm
+from .batch_linsolve import solve_packed
+from .options import TrackOptions
+from .pathtrack import PathPoint, PathTrackResult, _advance, _promote_step
+from .systems import PolynomialSystem, lift_value
+
+__all__ = ["PathStatus", "TrackManyReport", "PathScheduler", "track_paths"]
+
+
+@dataclass(frozen=True)
+class PathStatus:
+    """The per-path diagnostics record of one scheduled track.
+
+    ``reason`` is ``None`` for converged paths and otherwise one of
+    ``"newton"`` (the refinement missed the tolerance with no accepted point
+    to retreat to), ``"diverged"``, ``"singular"``, ``"step-underflow"``,
+    ``"rejection-budget"``, or ``"crossing"``.
+    """
+
+    index: int
+    converged: bool
+    reason: str | None
+    steps: int
+    rejections: int
+    retries: int
+    limbs: int | None
+    residual: float
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "converged": self.converged,
+            "reason": self.reason,
+            "steps": self.steps,
+            "rejections": self.rejections,
+            "retries": self.retries,
+            "limbs": self.limbs,
+            "residual": self.residual,
+        }
+
+
+@dataclass
+class TrackManyReport:
+    """Everything one :func:`track_paths` call produced, in input order.
+
+    ``results[i]`` and ``statuses[i]`` always describe the ``i``-th start
+    vector; ``fleets`` records one entry per executed fleet (the base run
+    plus one per used precision-ladder rung) with its limb count, path count,
+    pack count and round count.
+    """
+
+    results: list[PathTrackResult] = field(default_factory=list)
+    statuses: list[PathStatus] = field(default_factory=list)
+    fleets: list[dict] = field(default_factory=list)
+
+    @property
+    def n_paths(self) -> int:
+        return len(self.results)
+
+    @property
+    def n_converged(self) -> int:
+        return sum(1 for status in self.statuses if status.converged)
+
+    @property
+    def failed_indices(self) -> list[int]:
+        return [status.index for status in self.statuses if not status.converged]
+
+    @property
+    def escalated_indices(self) -> list[int]:
+        """Paths that needed at least one precision-escalation retry."""
+        return [status.index for status in self.statuses if status.retries > 0]
+
+    @property
+    def total_packs(self) -> int:
+        """Slot-tensor packs across every fleet (base fleet packs exactly once)."""
+        return sum(fleet["packs"] for fleet in self.fleets)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(status.retries for status in self.statuses)
+
+    def summary(self) -> dict:
+        """A JSON-friendly digest (the shape the benchmark emits)."""
+        return {
+            "paths": self.n_paths,
+            "converged": self.n_converged,
+            "failed": self.failed_indices,
+            "escalated": self.escalated_indices,
+            "retries": self.total_retries,
+            "packs": self.total_packs,
+            "fleets": list(self.fleets),
+            "steps": [status.steps for status in self.statuses],
+            "rejections": [status.rejections for status in self.statuses],
+        }
+
+
+class _PathState:
+    """Mutable per-path bookkeeping of one fleet (internal)."""
+
+    __slots__ = (
+        "index",
+        "start_values",
+        "values",
+        "t_trial",
+        "t_accepted",
+        "series",
+        "h",
+        "points",
+        "rejections",
+        "retries",
+        "limbs",
+        "status",
+        "reason",
+        "residual",
+    )
+
+    def __init__(self, index: int, start_values: Sequence, h: float, limbs: int | None):
+        self.index = index
+        self.start_values = list(start_values)
+        self.values = list(start_values)
+        self.t_trial = 0.0
+        self.t_accepted: float | None = None
+        self.series: list[PowerSeries] | None = None
+        self.h = h
+        self.points: list[PathPoint] = []
+        self.rejections = 0
+        self.retries = 0
+        self.limbs = limbs
+        self.status = "running"
+        self.reason: str | None = None
+        self.residual = math.inf
+
+    def fail(self, reason: str) -> None:
+        self.status = "failed"
+        self.reason = reason
+
+    def relaunch(self, start_values: Sequence, h: float, limbs: int | None) -> None:
+        """Reset for a fresh attempt at the next precision rung."""
+        self.start_values = list(start_values)
+        self.values = list(start_values)
+        self.t_accepted = None
+        self.series = None
+        self.h = h
+        self.points = []
+        self.rejections = 0
+        self.retries += 1
+        self.limbs = limbs
+        self.status = "running"
+        self.reason = None
+        self.residual = math.inf
+
+
+def _magnitude(value) -> float:
+    """A plain-double magnitude of any coefficient-ring value."""
+    if isinstance(value, ComplexMD):
+        return abs(value.to_complex())
+    if isinstance(value, complex):
+        return abs(value)
+    return abs(float(value))
+
+
+def _endpoint(state: _PathState) -> tuple[complex, ...]:
+    values = state.points[-1].values if state.points else ()
+    out = []
+    for value in values:
+        if isinstance(value, ComplexMD):
+            out.append(value.to_complex())
+        elif isinstance(value, MultiDouble):
+            out.append(complex(value.to_float()))
+        else:
+            out.append(complex(value))
+    return tuple(out)
+
+
+class PathScheduler:
+    """Track many solution paths adaptively through one resident fleet.
+
+    Parameters
+    ----------
+    system_builder:
+        Callable ``(t0, degree) -> PolynomialSystem`` returning the local
+        system whose series variable is the offset ``s = t - t0`` — the same
+        contract as :class:`repro.homotopy.TaylorPathTracker`.
+    options:
+        A :class:`repro.homotopy.options.TrackOptions`; keyword overrides
+        are layered on top via :meth:`TrackOptions.make`.
+    """
+
+    #: Hard bound on scheduler rounds per fleet, mirroring the tracker's guard.
+    _ROUND_GUARD = 10_000
+
+    def __init__(
+        self,
+        system_builder: Callable[[float, int], PolynomialSystem],
+        options: TrackOptions | None = None,
+        **overrides,
+    ):
+        self.system_builder = system_builder
+        self.options = TrackOptions.make(options, **overrides)
+
+    # ------------------------------------------------------------------ #
+    def track(
+        self,
+        start_values: Sequence[Sequence],
+        t_start: float = 0.0,
+        t_end: float = 1.0,
+    ) -> TrackManyReport:
+        """Track one path per start vector and aggregate the fleet report.
+
+        The base fleet runs every path at the family's own precision; paths
+        that fail are collected and re-run — as one fresh fleet per rung —
+        at each higher limb count of the options' precision ladder, with
+        system and starts lifted exactly.  Successful paths are **never**
+        re-run: their results come from the fleet that finished them, so a
+        healthy path's output is independent of its neighbours' failures.
+        """
+        report = TrackManyReport()
+        starts = [list(start) for start in start_values]
+        if not starts:
+            return report
+        options = self.options
+        working_limbs = self._working_limbs(starts, t_start)
+        states = [
+            _PathState(i, start, options.step.initial, working_limbs)
+            for i, start in enumerate(starts)
+        ]
+        self._run_fleet(self.system_builder, states, t_start, t_end, report)
+
+        if working_limbs is not None:
+            for limbs in options.retry.precision_ladder:
+                if limbs <= working_limbs:
+                    continue
+                retry = [s for s in states if s.status == "failed"]
+                if not retry:
+                    break
+                builder = self._lifted_builder(limbs)
+                for state in retry:
+                    lifted = [lift_value(v, limbs) for v in state.start_values]
+                    state.relaunch(lifted, options.step.initial, limbs)
+                self._run_fleet(builder, retry, t_start, t_end, report)
+
+        for state in states:
+            result = PathTrackResult(
+                points=state.points, success=state.status == "converged"
+            )
+            report.results.append(result)
+            report.statuses.append(
+                PathStatus(
+                    index=state.index,
+                    converged=state.status == "converged",
+                    reason=state.reason,
+                    steps=len(state.points),
+                    rejections=state.rejections,
+                    retries=state.retries,
+                    limbs=state.limbs,
+                    residual=state.residual,
+                )
+            )
+        return report
+
+    # ------------------------------------------------------------------ #
+    def _working_limbs(self, starts, t_start: float) -> int | None:
+        """The limb count of the family's own ring (None = exact/unsupported).
+
+        Probes one local system plus the start values with the tensor
+        backend's ring inference; ladder rungs at or below this count are
+        skipped (they would not add precision).
+        """
+        probe = self.system_builder(t_start, self.options.degree)
+        series = []
+        for polynomial in probe.polynomials:
+            series.append(polynomial.constant)
+            series.extend(m.coefficient for m in polynomial.monomials)
+        series.extend(PowerSeries([v]) for start in starts for v in start)
+        ring = infer_ring(series)
+        return None if ring is None else ring[1]
+
+    def _lifted_builder(self, limbs: int):
+        base = self.system_builder
+        degree_cache: dict[float, PolynomialSystem] = {}
+
+        def builder(t: float, degree: int) -> PolynomialSystem:
+            key = (t, degree)
+            if key not in degree_cache:
+                degree_cache[key] = base(t, degree).with_precision(limbs)
+            return degree_cache[key]
+
+        return builder
+
+    # ------------------------------------------------------------------ #
+    def _run_fleet(
+        self,
+        builder,
+        states: list[_PathState],
+        t_start: float,
+        t_end: float,
+        report: TrackManyReport,
+    ) -> None:
+        """Run one fleet of paths to completion against one resident context."""
+        options = self.options
+        degree = options.degree
+        batch = len(states)
+        for state in states:
+            state.t_trial = float(t_start)
+        solutions: list[list[PowerSeries]] = [
+            [PowerSeries.constant(v, degree) for v in state.values] for state in states
+        ]
+        context = None
+        evaluators: list = [None] * batch
+        rounds = 0
+        while True:
+            running = [p for p, state in enumerate(states) if state.status == "running"]
+            if not running:
+                break
+            rounds += 1
+            if rounds > self._ROUND_GUARD:
+                raise ConvergenceError("path scheduling exceeded the round guard")
+            # One local system per distinct trial parameter value; paths in
+            # sync share the object, so the fleet rebind groups their row
+            # writes and the schedule cache sees one structure throughout.
+            local: dict[float, PolynomialSystem] = {}
+            for p in running:
+                t = states[p].t_trial
+                if t not in local:
+                    local[t] = builder(t, degree).with_mode(options.mode)
+            for p in running:
+                evaluators[p] = local[states[p].t_trial].evaluator
+                solutions[p] = [
+                    PowerSeries.constant(v, degree) for v in states[p].values
+                ]
+            if context is None:
+                context = local[states[running[0]].t_trial].make_context(batch)
+            context.rebind_fleet(list(evaluators))
+
+            outcome = self._refine(context, running, solutions)
+            for p in running:
+                state = states[p]
+                verdict = outcome[p]
+                if verdict["singular"]:
+                    state.residual = verdict["residual"]
+                    state.fail("singular")
+                    continue
+                state.residual = verdict["residual"]
+                missed = not verdict["converged"] and (
+                    verdict["residual"] > options.newton.tolerance
+                )
+                if missed:
+                    self._reject(state, solutions[p], t_end)
+                else:
+                    self._accept(state, solutions[p], verdict, t_end)
+        if options.retry.detect_crossings:
+            self._flag_crossings(states)
+        context.set_active(None)
+        report.fleets.append(
+            {
+                "limbs": states[0].limbs,
+                "paths": batch,
+                "packs": context.packs,
+                "rounds": rounds,
+                "resident": context.resident,
+            }
+        )
+
+    # ------------------------------------------------------------------ #
+    def _refine(self, context, running: list[int], solutions) -> dict[int, dict]:
+        """Newton-refine every running fleet position, masked and in place.
+
+        Mirrors :func:`repro.homotopy.newton_power_series_batch` instance for
+        instance — same sweeps, same batched solve, same convergence
+        predicate — except that (a) only the pending instances sweep (the
+        active mask), and (b) singular instances are *dropped* from the
+        batched elimination and reported in their verdicts instead of
+        raising, so one singular path cannot abort the fleet.
+        """
+        newton = self.options.newton
+        verdicts = {
+            p: {"converged": False, "residual": math.inf, "iterations": 0, "singular": False}
+            for p in running
+        }
+        pending = list(running)
+        for iteration in range(1, newton.max_iterations + 1):
+            if not pending:
+                break
+            context.set_active(pending)
+            context.update_inputs(solutions)
+            if newton.solver == "batched" and not context.resident:
+                raise StagingError(
+                    "solver='batched' needs a tensor-resident context; this one "
+                    "delegates (staged/fraction/non-vectorized mode) — use "
+                    "solver='auto' or 'scalar'"
+                )
+            if newton.solver != "scalar" and context.resident:
+                pending = self._resident_iteration(
+                    context, pending, solutions, verdicts, iteration
+                )
+            else:
+                pending = self._delegating_iteration(
+                    context, pending, solutions, verdicts, iteration
+                )
+        if pending:
+            # Out of iterations: one values-only sweep decides convergence,
+            # exactly like the Newton drivers' final residual check.
+            context.set_active(pending)
+            context.update_inputs(solutions)
+            if newton.solver != "scalar" and context.resident:
+                context.run_packed()
+                norms = context.residual_norms()
+                for p in pending:
+                    verdicts[p]["converged"] = float(norms[p]) <= newton.tolerance
+            else:
+                finals = context.run(values_only=True)
+                for p in pending:
+                    final = residual_norm([e.value for e in finals[p]])
+                    verdicts[p]["converged"] = final <= newton.tolerance
+        return verdicts
+
+    def _resident_iteration(
+        self, context, pending: list[int], solutions, verdicts, iteration: int
+    ) -> list[int]:
+        """One masked tensor-resident Newton iteration with singular-drop."""
+        tolerance = self.options.newton.tolerance
+        context.run_packed()
+        norms = context.residual_norms()
+        still: list[int] = []
+        for p in pending:
+            residual = float(norms[p])
+            verdicts[p]["residual"] = residual
+            verdicts[p]["iterations"] = iteration
+            if residual <= tolerance:
+                verdicts[p]["converged"] = True
+            else:
+                still.append(p)
+        if not still:
+            return []
+        matrix, rhs = context.newton_system(still)
+        limbs = context.ring[1]
+        solve = list(range(len(still)))
+        solution = None
+        while solve:
+            try:
+                mask = None if len(solve) == len(still) else solve
+                solution = solve_packed(matrix, rhs, limbs, active=mask)
+                break
+            except SingularSystemError as error:
+                bad = set(getattr(error, "instances", []))
+                if not bad:
+                    raise
+                for k in bad:
+                    verdicts[still[k]]["singular"] = True
+                solve = [k for k in solve if k not in bad]
+        survivors: list[int] = []
+        if solution is not None:
+            corrections = context.unpack_vectors(solution)
+            for k in solve:
+                p = still[k]
+                solutions[p] = [
+                    current + delta
+                    for current, delta in zip(solutions[p], corrections[k])
+                ]
+                survivors.append(p)
+        return survivors
+
+    def _delegating_iteration(
+        self, context, pending: list[int], solutions, verdicts, iteration: int
+    ) -> list[int]:
+        """One masked per-call-path Newton iteration (staged/fraction/scalar)."""
+        tolerance = self.options.newton.tolerance
+        results = context.run()
+        survivors: list[int] = []
+        for p in pending:
+            evaluations = results[p]
+            residual_vector = [e.value for e in evaluations]
+            residual = residual_norm(residual_vector)
+            verdicts[p]["residual"] = residual
+            verdicts[p]["iterations"] = iteration
+            if residual <= tolerance:
+                verdicts[p]["converged"] = True
+                continue
+            jacobian = [list(e.gradient) for e in evaluations]
+            negated = [-value for value in residual_vector]
+            try:
+                correction = lu_solve(jacobian, negated)
+            except SingularSystemError:
+                verdicts[p]["singular"] = True
+                continue
+            solutions[p] = [
+                current + delta for current, delta in zip(solutions[p], correction)
+            ]
+            survivors.append(p)
+        return survivors
+
+    # ------------------------------------------------------------------ #
+    def _accept(self, state: _PathState, solution, verdict, t_end: float) -> None:
+        """Record the accepted trial point and predict the next one."""
+        step = self.options.step
+        state.points.append(
+            PathPoint(
+                t=state.t_trial,
+                values=tuple(series.constant_term() for series in solution),
+                residual=verdict["residual"],
+                newton_iterations=verdict["iterations"],
+            )
+        )
+        state.series = solution
+        state.t_accepted = state.t_trial
+        if state.t_accepted >= t_end:
+            state.status = "converged"
+            return
+        if verdict["iterations"] <= step.fast_iterations:
+            state.h = min(state.h * step.grow, step.max)
+        self._predict(state, t_end)
+
+    def _reject(self, state: _PathState, solution, t_end: float) -> None:
+        """Shrink the step and retreat to the last accepted point — or fail."""
+        retry = self.options.retry
+        step = self.options.step
+        residual = state.residual
+        diverged = not math.isfinite(residual) or residual > retry.divergence_threshold
+        if not diverged:
+            for series in solution:
+                magnitude = _magnitude(series.constant_term())
+                if not math.isfinite(magnitude) or magnitude > retry.divergence_threshold:
+                    diverged = True
+                    break
+        if diverged:
+            state.fail("diverged")
+            return
+        if state.t_accepted is None:
+            # The refinement at the very start failed: there is no accepted
+            # point to retreat to, so a smaller step cannot help.
+            state.fail("newton")
+            return
+        state.rejections += 1
+        if state.rejections > retry.max_rejections:
+            state.fail("rejection-budget")
+            return
+        state.h = state.h * step.shrink
+        if state.h < step.min:
+            state.fail("step-underflow")
+            return
+        self._predict(state, t_end)
+
+    def _predict(self, state: _PathState, t_end: float) -> None:
+        """Evaluate the accepted series at the (clamped) step to seed the trial."""
+        h = min(state.h, t_end - state.t_accepted)
+        state.t_trial = _advance(state.t_accepted, h, t_end)
+        state.values = [
+            series.evaluate(_promote_step(series, h)) for series in state.series
+        ]
+
+    # ------------------------------------------------------------------ #
+    def _flag_crossings(self, states: list[_PathState]) -> None:
+        """Demote later-indexed duplicates among the converged endpoints.
+
+        Two paths landing on the same endpoint (relative tolerance
+        ``crossing_tolerance``) means at least one of them jumped tracks on
+        the way; the later-indexed one is failed with reason ``"crossing"``
+        so the precision ladder re-runs it at higher precision.
+        """
+        tolerance = self.options.retry.crossing_tolerance
+        converged = [s for s in states if s.status == "converged"]
+        endpoints = {id(s): _endpoint(s) for s in converged}
+        for i, first in enumerate(converged):
+            if first.status != "converged":
+                continue
+            a = endpoints[id(first)]
+            for second in converged[i + 1 :]:
+                if second.status != "converged":
+                    continue
+                b = endpoints[id(second)]
+                if len(a) != len(b) or not a:
+                    continue
+                scale = max(1.0, max(abs(x) for x in a))
+                if all(abs(x - y) <= tolerance * scale for x, y in zip(a, b)):
+                    second.fail("crossing")
+
+
+def track_paths(
+    system_family: Callable[[float, int], PolynomialSystem],
+    starts: Sequence[Sequence],
+    options: TrackOptions | None = None,
+    t_start: float = 0.0,
+    t_end: float = 1.0,
+    **overrides,
+) -> TrackManyReport:
+    """Track one solution path per start vector — the package's front door.
+
+    ``system_family`` is the usual local-system builder ``(t0, degree) ->
+    PolynomialSystem``; ``starts`` holds one start vector per path; the
+    behaviour is configured entirely by ``options`` (a frozen
+    :class:`repro.homotopy.options.TrackOptions`, defaulting to
+    :data:`repro.homotopy.options.DEFAULT_TRACK_OPTIONS`) plus flat keyword
+    ``overrides`` layered on top, e.g.::
+
+        report = repro.track_paths(
+            family, starts,
+            step={"initial": 0.1, "grow": 1.5},
+            precision_ladder=(4, 8),
+        )
+
+    With ``options.scheduler == "adaptive"`` (the default) the
+    :class:`PathScheduler` runs the masked resident fleet with per-path
+    steps and the precision-escalation retry ladder; ``"lockstep"`` runs the
+    plain fixed-grid :meth:`repro.homotopy.TaylorPathTracker.track_many`
+    (no retries) and wraps its results in the same report shape.
+    """
+    options = TrackOptions.make(options, **overrides)
+    if options.scheduler == "lockstep":
+        from .pathtrack import TaylorPathTracker
+
+        tracker = TaylorPathTracker(system_family, options=options)
+        results = tracker.track_many(starts, t_start, t_end)
+        report = TrackManyReport(results=results)
+        for index, result in enumerate(results):
+            last = result.points[-1] if result.points else None
+            report.statuses.append(
+                PathStatus(
+                    index=index,
+                    converged=result.success,
+                    reason=None if result.success else "newton",
+                    steps=len(result.points),
+                    rejections=0,
+                    retries=0,
+                    limbs=None,
+                    residual=last.residual if last else math.inf,
+                )
+            )
+        return report
+    return PathScheduler(system_family, options).track(starts, t_start, t_end)

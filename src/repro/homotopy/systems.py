@@ -16,13 +16,38 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from fractions import Fraction
+
 from ..circuits.polynomial import Polynomial
 from ..circuits.reference import EvaluationResult
 from ..core.system import ScheduleCache, SystemEvaluator
 from ..errors import StagingError
+from ..md.complexmd import ComplexMD
+from ..md.multidouble import MultiDouble
 from ..series.series import PowerSeries
 
-__all__ = ["PolynomialSystem"]
+__all__ = ["PolynomialSystem", "lift_value"]
+
+
+def lift_value(value, limbs: int):
+    """Promote one coefficient to a multiple double with ``limbs`` limbs.
+
+    The precision-escalation retry of the many-path scheduler re-runs failed
+    paths with every number widened: plain reals/complexes become
+    multiple-double values by exact zero extension, existing multiple doubles
+    pad (exact, when ``limbs`` does not shrink them), and exact
+    :class:`~fractions.Fraction` coefficients stay exact — they already carry
+    unlimited precision, so lifting them would only lose it.
+    """
+    if isinstance(value, MultiDouble):
+        return value.to_precision(limbs)
+    if isinstance(value, ComplexMD):
+        return value.to_precision(limbs)
+    if isinstance(value, complex):
+        return ComplexMD.from_complex(value, limbs)
+    if isinstance(value, Fraction):
+        return value
+    return MultiDouble.from_float(float(value), limbs)
 
 
 class PolynomialSystem:
@@ -125,6 +150,21 @@ class PolynomialSystem:
             device=self.evaluator.device,
             workers=self.evaluator.workers,
             cache=self.evaluator.cache,
+        )
+
+    def with_precision(self, limbs: int, mode: str | None = None) -> "PolynomialSystem":
+        """This system with every coefficient lifted to ``limbs`` limbs.
+
+        The lift goes through :func:`lift_value`, so it is exact whenever it
+        widens.  The polynomial *structure* is unchanged, which means the
+        lifted system hits the same memoised schedules (and compiled tensor
+        programs) as the original — precision escalation restages nothing.
+        """
+        return self.map(
+            lambda p: p.map_coefficients(
+                lambda series: series.map(lambda c: lift_value(c, limbs))
+            ),
+            mode=mode,
         )
 
     def map(

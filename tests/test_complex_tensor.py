@@ -813,3 +813,33 @@ class TestResidentTiming:
         assert first["run"] == 1 and second["run"] == 2
         assert second["series"] < first["series"]
         assert second["h2d_ms"] < first["h2d_ms"]
+
+    def test_predict_masked_prices_the_shrinking_fleet(self, rng):
+        """Masked sweeps must cost less than full-batch sweeps, monotonically."""
+        polynomials = _mini_system("p1", 3, 2, rng)
+        evaluator = SystemEvaluator(polynomials, mode="staged", cache=ScheduleCache())
+        model = TimingModel(device="P100", precision=2)
+        report = model.predict_masked(evaluator.fused, batch=32, active=4, steps=5)
+        assert report["steps"] == 5
+        assert report["batch"] == 32 and report["active"] == 4
+        assert report["wall_ms_per_masked_step"] < report["wall_ms_per_full_step"]
+        assert report["update_transfer_masked_ms"] < report["update_transfer_full_ms"]
+        assert report["masked_wall_ms"] < report["full_wall_ms"]
+        assert report["masked_saved_ms"] == pytest.approx(
+            report["full_wall_ms"] - report["masked_wall_ms"]
+        )
+        # The saving grows as the active set shrinks...
+        wider = model.predict_masked(evaluator.fused, batch=32, active=16, steps=5)
+        assert wider["masked_saved_ms"] < report["masked_saved_ms"]
+        # ...a fully active fleet costs exactly the full sweep...
+        flat = model.predict_masked(evaluator.fused, batch=32, active=32)
+        assert flat["masked_saved_ms"] == pytest.approx(0.0)
+        # ...and a drained fleet launches nothing at all.
+        empty = model.predict_masked(evaluator.fused, batch=32, active=0)
+        assert empty["masked_wall_ms"] == 0.0
+        with pytest.raises(ValueError):
+            model.predict_masked(evaluator.fused, batch=32, active=33)
+        with pytest.raises(ValueError):
+            model.predict_masked(evaluator.fused, batch=0, active=0)
+        with pytest.raises(ValueError):
+            model.predict_masked(evaluator.fused, batch=4, active=2, steps=0)
