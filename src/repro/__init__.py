@@ -52,6 +52,7 @@ from .errors import (
     ConvergenceError,
     SingularSystemError,
     ParseError,
+    ShardError,
 )
 from .md import MultiDouble, MDArray, ComplexMD, ComplexMDArray, Precision, get_precision
 from .series import PowerSeries, MDSeries
@@ -83,11 +84,13 @@ from .homotopy import (
     PathScheduler,
     PathStatus,
     RetryPolicy,
+    ShardOptions,
     StepControl,
     TrackManyReport,
     TrackOptions,
     track_paths,
 )
+from .parallel import ShardedFleetRunner
 
 __all__ = [
     "__version__",
@@ -99,6 +102,7 @@ __all__ = [
     "ConvergenceError",
     "SingularSystemError",
     "ParseError",
+    "ShardError",
     "MultiDouble",
     "MDArray",
     "ComplexMD",
@@ -135,6 +139,8 @@ __all__ = [
     "PathScheduler",
     "PathStatus",
     "RetryPolicy",
+    "ShardOptions",
+    "ShardedFleetRunner",
     "StepControl",
     "TrackManyReport",
     "TrackOptions",

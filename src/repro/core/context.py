@@ -69,11 +69,18 @@ class EvalContext:
     Newton run, which the test suite asserts.
     """
 
-    def __init__(self, evaluator, batch: int):
+    def __init__(self, evaluator, batch: int, buffer=None):
         if batch < 1:
             raise StagingError(f"an evaluation context needs batch >= 1, got {batch}")
         self._evaluator = evaluator
         self._batch = int(batch)
+        #: Optional externally-owned buffer (a shared-memory segment's
+        #: ``buf``) the packed tensor should live in: the one pack of this
+        #: context lands there, and every later in-place update is visible
+        #: to other processes holding the segment — the zero-copy residence
+        #: of the sharded fleet runner.
+        self._buffer = buffer
+        self._adopted = False
         #: None while the tensorized fast path is (still) possible; the name
         #: of the per-call mode every run delegates to otherwise.
         self._delegate_to = None if evaluator.mode == "vectorized" else evaluator.mode
@@ -126,6 +133,21 @@ class EvalContext:
     def ring(self) -> tuple[str, int] | None:
         """The packed tensor's ``(kind, limbs)`` ring, ``None`` before packing."""
         return self._ring
+
+    @property
+    def adopted(self) -> bool:
+        """True when the resident tensor lives in the externally-owned buffer."""
+        return self._adopted
+
+    def buffer_spec(self) -> dict | None:
+        """The adoption recipe of the resident tensor (``None`` before packing).
+
+        Another process holding the same segment passes this dict to
+        :func:`repro.core.tensor.adopt_buffer` to view the live tensor.
+        """
+        if self._tensor is None:
+            return None
+        return self._tensor.buffer_spec()
 
     @property
     def active(self) -> np.ndarray | None:
@@ -253,7 +275,10 @@ class EvalContext:
             return
         kind, limbs = join_rings(system_ring, input_ring)
         all_slots = evaluator._prepare_batch_slots(zs)
-        self._tensor = make_tensor(all_slots, kind=kind, limbs=limbs)
+        tensor = make_tensor(all_slots, kind=kind, limbs=limbs)
+        if self._buffer is not None:
+            tensor = self._relocate(tensor)
+        self._tensor = tensor
         self._ring = (kind, limbs)
         self._packs += 1
         from .tensor import compile_tensor_program
@@ -263,6 +288,33 @@ class EvalContext:
             lambda: compile_tensor_program(evaluator.fused),
         )
         self._index_rows()
+
+    def _relocate(self, tensor):
+        """Move the just-packed tensor into the externally-owned buffer.
+
+        One ``memcpy`` per limb-plane block, not a second pack: ``packs``
+        stays at one per context, which the shard tests assert.  A buffer
+        that cannot carry the tensor (the parent sized it for a different
+        ring than the worker actually packed) is ignored — the context stays
+        correct on process-local memory, merely not shared — because the
+        adoption is an optimisation, never a correctness dependency.
+        """
+        self._adopted = False
+        try:
+            if tensor.nbytes > len(memoryview(self._buffer).cast("B")):
+                return tensor
+            spec = tensor.export_buffer(self._buffer)
+            adopted = type(tensor).from_buffer(
+                self._buffer,
+                limbs=spec["limbs"],
+                rows=spec["rows"],
+                width=spec["width"],
+                ring=spec["ring"],
+            )
+        except (TypeError, ValueError, BufferError):
+            return tensor
+        self._adopted = True
+        return adopted
 
     def _index_rows(self) -> None:
         """Precompute the per-instance row indices the updates touch."""

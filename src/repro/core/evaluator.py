@@ -120,6 +120,9 @@ class PolynomialEvaluator:
         self.device = device
         self.workers = workers
         self.schedule: JobSchedule = schedule_for_polynomial(polynomial)
+        # The parallel mode's persistent thread pool, created on first use
+        # and reused for every later evaluation of this evaluator.
+        self._pool_executor = None
 
     # ------------------------------------------------------------------ #
     # public API
@@ -171,9 +174,11 @@ class PolynomialEvaluator:
         slots = self._prepare_slots(z)
         schedule = self.schedule
         if parallel:
-            from ..parallel.pool import LayerParallelExecutor
+            if self._pool_executor is None:
+                from ..parallel.pool import LayerParallelExecutor
 
-            executor = LayerParallelExecutor(workers=self.workers)
+                self._pool_executor = LayerParallelExecutor(workers=self.workers)
+            executor = self._pool_executor
             executor.run_schedule(schedule, slots)
             metadata = {
                 "mode": "parallel",

@@ -141,6 +141,37 @@ class ScheduleCache:
                 self._build_locks.pop(key, None)
             return entry
 
+    def export_entries(self, keys: Sequence[tuple] | None = None) -> dict:
+        """A picklable snapshot of (some of) the cached entries.
+
+        ``keys = None`` snapshots everything; otherwise only the listed keys
+        that are actually cached are returned (missing keys are skipped, not
+        errors).  The values are the cached objects themselves — fused
+        schedules and compiled tensor programs are immutable-after-build and
+        plain data, so the snapshot ships across a process boundary: this is
+        how the sharded fleet runner stages schedules **once in the parent**
+        and hands them to every worker instead of letting each worker restage.
+        """
+        with self._lock:
+            if keys is None:
+                return dict(self._entries)
+            return {key: self._entries[key] for key in keys if key in self._entries}
+
+    def install_entries(self, entries: dict) -> None:
+        """Adopt pre-built entries (a worker installing the parent's staging).
+
+        Installed entries count as neither hits nor misses — they were built
+        elsewhere — but participate in LRU eviction like any other entry, and
+        later :meth:`get` calls on them are ordinary hits.
+        """
+        with self._lock:
+            for key, value in entries.items():
+                self._entries[key] = value
+                self._entries.move_to_end(key)
+                self._build_locks.pop(key, None)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
     def clear(self) -> None:
         """Drop all entries and reset the hit/miss counters.
 
@@ -442,6 +473,21 @@ class SystemEvaluator:
         # the first vectorized batch (None until then; a (kind, limbs) tuple
         # or the string "unsupported" afterwards).
         self._system_ring: object = None
+        # The parallel mode's persistent thread pool, created on first use
+        # and reused for every later sweep of this evaluator.
+        self._pool_executor = None
+
+    def _layer_executor(self):
+        """The evaluator-lifetime :class:`LayerParallelExecutor` (lazy).
+
+        Holding one executor per evaluator means the parallel mode pays its
+        thread-pool construction once, not once per ``evaluate_batch`` call.
+        """
+        if self._pool_executor is None:
+            from ..parallel.pool import LayerParallelExecutor
+
+            self._pool_executor = LayerParallelExecutor(workers=self.workers)
+        return self._pool_executor
 
     # ------------------------------------------------------------------ #
     # public API
@@ -495,7 +541,7 @@ class SystemEvaluator:
             return self._evaluate_vectorized(zs)
         return self._evaluate_staged(zs, parallel=(mode == "parallel"))
 
-    def make_context(self, batch: int) -> "EvalContext":
+    def make_context(self, batch: int, buffer=None) -> "EvalContext":
         """A resident :class:`repro.core.EvalContext` for ``batch`` instances.
 
         The context packs the fused slot tensor once, updates only the input
@@ -503,11 +549,13 @@ class SystemEvaluator:
         host-side analogue of keeping the data array resident on the device
         across Newton iterations and path steps.  Every mode supports the
         interface (non-tensor modes delegate each run to their per-call
-        path), so callers are mode-agnostic.
+        path), so callers are mode-agnostic.  ``buffer`` optionally homes the
+        packed tensor in an externally-owned buffer (a shared-memory
+        segment), the zero-copy residence of the sharded fleet runner.
         """
         from .context import EvalContext
 
-        return EvalContext(self, batch)
+        return EvalContext(self, batch, buffer=buffer)
 
     def job_summary(self) -> dict:
         """Fused schedule statistics."""
@@ -590,9 +638,7 @@ class SystemEvaluator:
         all_slots = self._prepare_batch_slots(zs)
         fused = self.fused
         if parallel:
-            from ..parallel.pool import LayerParallelExecutor
-
-            executor = LayerParallelExecutor(workers=self.workers)
+            executor = self._layer_executor()
             executor.run_fused(self._fused_layer_jobs(batch), all_slots)
             metadata = {
                 "mode": "parallel",

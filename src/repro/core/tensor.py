@@ -59,6 +59,7 @@ __all__ = [
     "ComplexSlotTensor",
     "TensorLayer",
     "TensorProgram",
+    "adopt_buffer",
     "collapse_limbs",
     "compile_tensor_program",
     "convolve_rows",
@@ -66,6 +67,7 @@ __all__ = [
     "infer_ring",
     "join_rings",
     "make_tensor",
+    "tensor_nbytes",
 ]
 
 #: Coefficient types the backend packs losslessly into limb planes.
@@ -198,6 +200,43 @@ def _series_block(series: PowerSeries, limbs: int) -> np.ndarray:
 
 
 # --------------------------------------------------------------------- #
+# shared-buffer residence (process sharding)
+# --------------------------------------------------------------------- #
+def tensor_nbytes(kind: str, limbs: int, rows: int, width: int) -> int:
+    """Bytes one packed slot tensor of the given ring and shape occupies.
+
+    This is how the sharded fleet runner sizes a
+    :class:`multiprocessing.shared_memory` segment *before* any worker has
+    packed anything: the shape follows from the fused layout (``rows =
+    batch x total_slots``, ``width = degree + 1``) and the ring from
+    :func:`infer_ring`, so the parent can allocate and the worker adopt with
+    :meth:`SlotTensor.from_buffer` / :meth:`ComplexSlotTensor.from_buffer` —
+    complex rings carry two limb-plane blocks (real, then imaginary).
+    """
+    planes = 2 if kind in ("complex", "cmd") else 1
+    return planes * limbs * rows * width * 8
+
+
+def adopt_buffer(buffer, spec: dict) -> "SlotTensor | ComplexSlotTensor":
+    """Adopt a packed tensor living in ``buffer`` as a zero-copy view.
+
+    ``spec`` is the dict :meth:`SlotTensor.export_buffer` /
+    :meth:`ComplexSlotTensor.export_buffer` returned — ``ring``, ``limbs``,
+    ``rows`` and ``width`` — so a worker process (or the parent, reading a
+    worker's live tensor) reconstructs the exact tensor without copying or
+    repacking a single limb.
+    """
+    cls = ComplexSlotTensor if spec["ring"] in ("complex", "cmd") else SlotTensor
+    return cls.from_buffer(
+        buffer,
+        limbs=spec["limbs"],
+        rows=spec["rows"],
+        width=spec["width"],
+        ring=spec["ring"],
+    )
+
+
+# --------------------------------------------------------------------- #
 # the packed slot tensor
 # --------------------------------------------------------------------- #
 class SlotTensor:
@@ -245,6 +284,50 @@ class SlotTensor:
 
     def copy(self) -> "SlotTensor":
         return SlotTensor(self.data.copy(), self.ring)
+
+    # ------------------------------------------------------------------ #
+    # shared-buffer residence
+    # ------------------------------------------------------------------ #
+    @property
+    def nbytes(self) -> int:
+        """Bytes the limb planes occupy (what :meth:`export_buffer` needs)."""
+        return self.data.nbytes
+
+    def buffer_spec(self) -> dict:
+        """The adoption recipe of this tensor (see :func:`adopt_buffer`)."""
+        return {
+            "ring": self.ring,
+            "limbs": self.limbs,
+            "rows": self.rows,
+            "width": self.width,
+        }
+
+    def export_buffer(self, buffer) -> dict:
+        """Move the limb planes into ``buffer`` and return the adoption spec.
+
+        ``buffer`` is any writable buffer (typically the ``buf`` of a
+        :class:`multiprocessing.shared_memory.SharedMemory` segment) of at
+        least :attr:`nbytes` bytes.  One ``memcpy`` — not a repack: the
+        packed representation crosses the process boundary bit for bit, and
+        :meth:`from_buffer` on the other side is a zero-copy view.
+        """
+        out = np.ndarray(self.data.shape, dtype=np.float64, buffer=buffer)
+        np.copyto(out, self.data)
+        return self.buffer_spec()
+
+    @classmethod
+    def from_buffer(
+        cls, buffer, limbs: int, rows: int, width: int, ring: str = "md"
+    ) -> "SlotTensor":
+        """Adopt a packed tensor from a (shared) buffer, zero copy.
+
+        The returned tensor's ``data`` is a view into ``buffer``: in-place
+        updates (:meth:`write_series`, :meth:`zero_rows`, program sweeps) are
+        visible to every process holding the same segment, which is what
+        makes a sharded fleet's residency *shared* instead of per-process.
+        """
+        data = np.ndarray((limbs, rows, width), dtype=np.float64, buffer=buffer)
+        return cls(data, ring)
 
     # ------------------------------------------------------------------ #
     # gather: series -> tensor rows
@@ -438,6 +521,48 @@ class ComplexSlotTensor:
 
     def copy(self) -> "ComplexSlotTensor":
         return ComplexSlotTensor(self.real.copy(), self.imag.copy(), self.ring)
+
+    # ------------------------------------------------------------------ #
+    # shared-buffer residence
+    # ------------------------------------------------------------------ #
+    @property
+    def nbytes(self) -> int:
+        """Bytes both limb-plane blocks occupy (real block, then imaginary)."""
+        return self.real.nbytes + self.imag.nbytes
+
+    def buffer_spec(self) -> dict:
+        """The adoption recipe of this tensor (see :func:`adopt_buffer`)."""
+        return {
+            "ring": self.ring,
+            "limbs": self.limbs,
+            "rows": self.rows,
+            "width": self.width,
+        }
+
+    def export_buffer(self, buffer) -> dict:
+        """Move both limb-plane blocks into ``buffer``; return the spec.
+
+        The layout is the real block followed by the imaginary block, the
+        contract :meth:`from_buffer` adopts — one ``memcpy`` per plane, no
+        repacking across the process boundary.
+        """
+        shape = self.real.shape
+        real = np.ndarray(shape, dtype=np.float64, buffer=buffer)
+        imag = np.ndarray(shape, dtype=np.float64, buffer=buffer, offset=self.real.nbytes)
+        np.copyto(real, self.real)
+        np.copyto(imag, self.imag)
+        return self.buffer_spec()
+
+    @classmethod
+    def from_buffer(
+        cls, buffer, limbs: int, rows: int, width: int, ring: str = "cmd"
+    ) -> "ComplexSlotTensor":
+        """Adopt paired limb planes from a (shared) buffer, zero copy."""
+        shape = (limbs, rows, width)
+        offset = limbs * rows * width * 8
+        real = np.ndarray(shape, dtype=np.float64, buffer=buffer)
+        imag = np.ndarray(shape, dtype=np.float64, buffer=buffer, offset=offset)
+        return cls(real, imag, ring)
 
     # ------------------------------------------------------------------ #
     # gather: series -> tensor rows

@@ -17,6 +17,7 @@ __all__ = [
     "ConvergenceError",
     "SingularSystemError",
     "ParseError",
+    "ShardError",
 ]
 
 
@@ -55,3 +56,11 @@ class SingularSystemError(ReproError, ArithmeticError):
 
 class ParseError(ReproError, ValueError):
     """A polynomial string could not be parsed."""
+
+
+class ShardError(ReproError, RuntimeError):
+    """The process-sharded fleet runner could not complete a shard.
+
+    Raised only when ``ShardOptions.fallback_inline`` is off; with the
+    fallback enabled a failed shard degrades to an inline re-run instead.
+    """

@@ -272,6 +272,72 @@ class TimingModel:
             "masked_saved_ms": full - masked,
         }
 
+    def predict_shards(
+        self,
+        schedule,
+        batch: int,
+        workers: int,
+        steps: int = 1,
+        planes: int = 1,
+        spawn_ms: float = 300.0,
+        ipc_gb_s: float = 5.0,
+    ) -> dict:
+        """Price sharding a resident fleet across ``workers`` processes.
+
+        Models :class:`repro.parallel.ShardedFleetRunner`: the fleet of
+        ``batch`` instances splits into ``workers`` near-even shards that
+        sweep concurrently, so the parallel sweep time is that of the
+        *largest* shard (``ceil(batch / workers)`` instances) — but every
+        worker pays a one-off spawn/staging cost (``spawn_ms``: process
+        start, schedule installation, shared-memory attach) and the results
+        come back over an IPC queue at ``ipc_gb_s`` (sized from the shard's
+        packed limb tensor, the dominant payload).  The returned dictionary
+        compares against the single-process resident run and reports the
+        break-even step count: below it the spawn overhead dominates and
+        inline tracking wins, which is the guidance the README's
+        worker-count section gives.
+        """
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        single = self.predict_resident(schedule, batch=batch, steps=steps, planes=planes)
+        shard_batch = math.ceil(batch / workers)
+        shard = self.predict_resident(
+            schedule, batch=shard_batch, steps=steps, planes=planes
+        )
+        shard_bytes = (
+            planes * self.limbs * shard_batch * schedule.total_slots
+            * (schedule.degree + 1) * 8
+        )
+        ipc_ms = workers * (shard_bytes / (ipc_gb_s * 1.0e9) * 1.0e3)
+        overhead_ms = workers * spawn_ms + ipc_ms
+        sharded_wall = shard["resident_wall_ms"] + overhead_ms
+        single_wall = single["resident_wall_ms"]
+        # Per-step saving decides how many steps amortise the fixed overhead.
+        per_step_saving = (
+            single["wall_ms_per_step"] - shard["wall_ms_per_step"]
+        ) + (single["update_transfer_ms"] - shard["update_transfer_ms"])
+        break_even = (
+            math.inf if per_step_saving <= 0.0
+            else math.ceil(overhead_ms / per_step_saving)
+        )
+        return {
+            "batch": batch,
+            "workers": workers,
+            "steps": steps,
+            "planes": planes,
+            "shard_batch": shard_batch,
+            "spawn_overhead_ms": workers * spawn_ms,
+            "ipc_transfer_ms": ipc_ms,
+            "single_wall_ms": single_wall,
+            "sharded_wall_ms": sharded_wall,
+            "speedup": single_wall / sharded_wall if sharded_wall > 0.0 else math.inf,
+            "break_even_steps": break_even,
+        }
+
     def predict_solve(self, dimension: int, degree: int, batch: int = 1) -> TimingReport:
         """Predicted launch sequence of one batched series linear solve.
 

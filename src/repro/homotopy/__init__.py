@@ -12,6 +12,7 @@ from .options import (
     DEFAULT_TRACK_OPTIONS,
     NewtonOptions,
     RetryPolicy,
+    ShardOptions,
     StepControl,
     TrackOptions,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "DEFAULT_TRACK_OPTIONS",
     "NewtonOptions",
     "RetryPolicy",
+    "ShardOptions",
     "StepControl",
     "TrackOptions",
     "NewtonStep",

@@ -30,6 +30,7 @@ drivers are thin shims that build these objects.
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -39,6 +40,7 @@ __all__ = [
     "NewtonOptions",
     "StepControl",
     "RetryPolicy",
+    "ShardOptions",
     "TrackOptions",
     "DEFAULT_TRACK_OPTIONS",
 ]
@@ -169,9 +171,69 @@ class RetryPolicy:
         return dataclasses.replace(self, **overrides)
 
 
+@dataclass(frozen=True)
+class ShardOptions:
+    """Process-sharding policy of the many-path front door.
+
+    ``workers`` selects how many worker processes the sharded runner spawns:
+
+    * ``0`` (the default) — sharding disabled, the fleet runs inline in the
+      calling process exactly as before;
+    * ``n >= 1`` — spawn ``n`` workers (``1`` still crosses the process
+      boundary, which is how the bit-parity guarantee is exercised);
+    * ``None`` — auto-detect: the ``REPRO_WORKERS`` environment variable if
+      set, else ``os.cpu_count()``.
+
+    ``max_shard_size`` caps how many paths one shard may carry; a cap that
+    yields more shards than workers simply queues the extra shards — the
+    runner keeps at most ``workers`` processes live.  ``fallback_inline``
+    controls what happens when a worker dies or sharding is impossible (the
+    family does not pickle, shared memory unavailable): re-run the affected
+    shards inline in the parent (default) or raise.  The two timeouts bound
+    how long the parent waits for a worker's first readiness message and
+    between heartbeats before declaring it dead.
+    """
+
+    workers: int | None = 0
+    max_shard_size: int | None = None
+    fallback_inline: bool = True
+    start_timeout_s: float = 120.0
+    heartbeat_timeout_s: float = 60.0
+
+    def __post_init__(self):
+        if self.workers is not None and self.workers < 0:
+            raise ValueError(f"shard workers must be >= 0 or None, got {self.workers}")
+        if self.max_shard_size is not None and self.max_shard_size < 1:
+            raise ValueError(
+                f"max_shard_size must be >= 1 or None, got {self.max_shard_size}"
+            )
+        if not self.start_timeout_s > 0.0:
+            raise ValueError("start_timeout_s must be positive")
+        if not self.heartbeat_timeout_s > 0.0:
+            raise ValueError("heartbeat_timeout_s must be positive")
+
+    def resolve_workers(self) -> int:
+        """The concrete worker count: 0 means inline, >= 1 means sharded."""
+        if self.workers is not None:
+            return self.workers
+        env = os.environ.get("REPRO_WORKERS", "").strip()
+        if env:
+            count = int(env)
+            if count < 0:
+                raise ValueError(f"REPRO_WORKERS must be >= 0, got {count}")
+            return count
+        return os.cpu_count() or 1
+
+    def override(self, **overrides) -> "ShardOptions":
+        """A derived copy with the given fields replaced."""
+        return dataclasses.replace(self, **overrides)
+
+
 #: Flat legacy aliases accepted by :meth:`TrackOptions.override`, mapping the
 #: historical tracker/Newton keywords onto their nested new home.
 _FLAT_ALIASES = {
+    "shards": ("shard", "workers"),
+    "workers": ("shard", "workers"),
     "step": ("step", "initial"),
     "newton_iterations": ("newton", "max_iterations"),
     "max_newton_iter": ("newton", "max_iterations"),
@@ -212,6 +274,7 @@ class TrackOptions:
     )
     step: StepControl = field(default_factory=StepControl)
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    shard: ShardOptions = field(default_factory=ShardOptions)
 
     def __post_init__(self):
         if self.degree < 1:
@@ -238,12 +301,17 @@ class TrackOptions:
         changes: dict = {}
         nested: dict[str, dict] = {}
         for key, value in overrides.items():
-            if key in ("newton", "step", "retry") and isinstance(value, Mapping):
+            if key in ("newton", "step", "retry", "shard") and isinstance(value, Mapping):
                 nested.setdefault(key, {}).update(value)
             elif key == "step" and isinstance(value, (int, float)):
                 nested.setdefault("step", {})["initial"] = float(value)
-            elif key in ("newton", "step", "retry"):
-                expected = {"newton": NewtonOptions, "step": StepControl, "retry": RetryPolicy}[key]
+            elif key in ("newton", "step", "retry", "shard"):
+                expected = {
+                    "newton": NewtonOptions,
+                    "step": StepControl,
+                    "retry": RetryPolicy,
+                    "shard": ShardOptions,
+                }[key]
                 if not isinstance(value, expected):
                     raise TypeError(
                         f"option {key!r} takes a {expected.__name__} or a mapping, "

@@ -111,6 +111,9 @@ class TrackManyReport:
     results: list[PathTrackResult] = field(default_factory=list)
     statuses: list[PathStatus] = field(default_factory=list)
     fleets: list[dict] = field(default_factory=list)
+    #: One entry per worker shard when the run was process-sharded
+    #: (:mod:`repro.parallel.shard`); empty for inline runs.
+    shards: list[dict] = field(default_factory=list)
 
     @property
     def n_paths(self) -> int:
@@ -148,6 +151,7 @@ class TrackManyReport:
             "retries": self.total_retries,
             "packs": self.total_packs,
             "fleets": list(self.fleets),
+            "shards": list(self.shards),
             "steps": [status.steps for status in self.statuses],
             "rejections": [status.rejections for status in self.statuses],
         }
@@ -263,6 +267,7 @@ class PathScheduler:
         start_values: Sequence[Sequence],
         t_start: float = 0.0,
         t_end: float = 1.0,
+        context_buffer=None,
     ) -> TrackManyReport:
         """Track one path per start vector and aggregate the fleet report.
 
@@ -272,6 +277,13 @@ class PathScheduler:
         system and starts lifted exactly.  Successful paths are **never**
         re-run: their results come from the fleet that finished them, so a
         healthy path's output is independent of its neighbours' failures.
+
+        ``context_buffer`` optionally backs the *base* fleet's packed limb
+        tensor with a caller-provided writable buffer — the sharded runner
+        passes each worker its shared-memory segment here, so the shard
+        packs exactly once, straight into shared memory.  Retry-ladder
+        fleets run at higher limb counts than the buffer was sized for and
+        always allocate locally.
         """
         report = TrackManyReport()
         starts = [list(start) for start in start_values]
@@ -283,7 +295,9 @@ class PathScheduler:
             _PathState(i, start, options.step.initial, working_limbs)
             for i, start in enumerate(starts)
         ]
-        self._run_fleet(self.system_builder, states, t_start, t_end, report)
+        self._run_fleet(
+            self.system_builder, states, t_start, t_end, report, buffer=context_buffer
+        )
 
         if working_limbs is not None:
             for limbs in options.retry.precision_ladder:
@@ -354,6 +368,7 @@ class PathScheduler:
         t_start: float,
         t_end: float,
         report: TrackManyReport,
+        buffer=None,
     ) -> None:
         """Run one fleet of paths to completion against one resident context."""
         options = self.options
@@ -388,7 +403,9 @@ class PathScheduler:
                     PowerSeries.constant(v, degree) for v in states[p].values
                 ]
             if context is None:
-                context = local[states[running[0]].t_trial].make_context(batch)
+                context = local[states[running[0]].t_trial].make_context(
+                    batch, buffer=buffer
+                )
             context.rebind_fleet(list(evaluators))
 
             outcome = self._refine(context, running, solutions)
@@ -417,6 +434,7 @@ class PathScheduler:
                 "packs": context.packs,
                 "rounds": rounds,
                 "resident": context.resident,
+                "adopted": context.adopted,
             }
         )
 
@@ -685,4 +703,10 @@ def track_paths(
                 )
             )
         return report
+    workers = options.shard.resolve_workers()
+    if workers > 0 and len(starts) > 0:
+        from ..parallel.shard import ShardedFleetRunner
+
+        runner = ShardedFleetRunner(system_family, options)
+        return runner.track(starts, t_start, t_end)
     return PathScheduler(system_family, options).track(starts, t_start, t_end)

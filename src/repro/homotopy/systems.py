@@ -107,15 +107,18 @@ class PolynomialSystem:
         """Evaluate the system at ``B`` input vectors in one batched sweep."""
         return self.evaluator.evaluate_batch(zs)
 
-    def make_context(self, batch: int):
+    def make_context(self, batch: int, buffer=None):
         """A resident :class:`repro.core.EvalContext` for repeated sweeps.
 
         Newton and the path tracker hold one context across all their
         iterations/steps: the fused slot tensor is packed once, later sweeps
         update only the input slots in place, and outputs are unpacked on
-        demand.  See :meth:`repro.core.SystemEvaluator.make_context`.
+        demand.  ``buffer`` optionally places the packed limb tensor in a
+        caller-provided writable buffer (a shared-memory segment for the
+        process-sharded runner).  See
+        :meth:`repro.core.SystemEvaluator.make_context`.
         """
-        return self.evaluator.make_context(batch)
+        return self.evaluator.make_context(batch, buffer=buffer)
 
     def residual(self, z: Sequence[PowerSeries]) -> list[PowerSeries]:
         """The vector ``F(z)`` only."""

@@ -1,6 +1,13 @@
-"""Host-side parallel execution of the layered job schedule."""
+"""Host-side parallel execution: threaded job layers and process-sharded fleets."""
 
 from .partition import chunk_evenly
 from .pool import LayerParallelExecutor
+from .shard import ShardedFleetRunner, ShardPlan, partition_paths
 
-__all__ = ["chunk_evenly", "LayerParallelExecutor"]
+__all__ = [
+    "chunk_evenly",
+    "LayerParallelExecutor",
+    "ShardPlan",
+    "ShardedFleetRunner",
+    "partition_paths",
+]

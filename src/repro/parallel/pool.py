@@ -6,11 +6,21 @@ has finished.  :class:`LayerParallelExecutor` maps this onto a thread pool —
 each layer is split into one chunk per worker (:mod:`repro.parallel.partition`)
 and the chunks run concurrently, with a join between layers.
 
+The pool is **persistent**: it is created lazily on the first layer that
+actually fans out and reused by every later ``run_schedule``/``run_fused``
+call, so repeated sweeps (Newton iterations, path steps, batched evaluation
+loops) pay the thread spawn cost once instead of once per call.  Call
+:meth:`LayerParallelExecutor.close` — or use the executor as a context
+manager — to release the threads deterministically; a closed executor
+re-creates its pool transparently if used again.
+
 On CPython the global interpreter lock limits the speedup for pure-Python
 coefficient rings; the point of this executor is to exercise the *structure*
 of the parallel algorithm (independence within layers, barriers between
 them) on the host and to provide a second, independent implementation the
-test suite can compare against the sequential ``staged`` mode.
+test suite can compare against the sequential ``staged`` mode.  For real
+multi-core scale-out see :mod:`repro.parallel.shard`, which shards whole
+path fleets across worker *processes* on shared-memory limb tensors.
 """
 
 from __future__ import annotations
@@ -27,7 +37,7 @@ __all__ = ["LayerParallelExecutor"]
 
 
 class LayerParallelExecutor:
-    """Executes a :class:`repro.core.JobSchedule` with a thread pool."""
+    """Executes a :class:`repro.core.JobSchedule` with a persistent thread pool."""
 
     def __init__(self, workers: int | None = None):
         if workers is None:
@@ -35,6 +45,38 @@ class LayerParallelExecutor:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------ #
+    # pool lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def pool_active(self) -> bool:
+        """True while the persistent pool exists (threads may be live)."""
+        return self._pool is not None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-layer"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the persistent pool down (waiting for in-flight chunks).
+
+        Idempotent; the executor stays usable afterwards — the next
+        dispatching call simply builds a fresh pool.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "LayerParallelExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     def run_schedule(self, schedule, slots: list[PowerSeries]) -> None:
@@ -62,54 +104,56 @@ class LayerParallelExecutor:
         list of ``(base, job)`` pairs — the job's slot indices are shifted by
         ``base`` (the batch-instance offset into the fused slot array).  All
         jobs of one layer, across every equation and every batch instance,
-        are chunked over the pool together; worker exceptions propagate to
-        the caller at the layer barrier.  Returns the number of launches.
+        are chunked over the persistent pool together; worker exceptions
+        propagate to the caller at the layer barrier.  Returns the number of
+        launches.
         """
         launches = 0
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            for kind, jobs in layers:
-                if not jobs:
-                    continue
-                launches += 1
-                if kind == "convolution":
-                    self._run_fused_convolution_layer(pool, jobs, slots)
-                elif kind == "scale":
-                    self._run_fused_scale_layer(pool, jobs, slots)
-                elif kind == "addition":
-                    self._run_fused_addition_layer(pool, jobs, slots)
-                else:
-                    raise ValueError(f"unknown fused layer kind {kind!r}")
+        for kind, jobs in layers:
+            if not jobs:
+                continue
+            launches += 1
+            if kind == "convolution":
+                self._run_fused_convolution_layer(jobs, slots)
+            elif kind == "scale":
+                self._run_fused_scale_layer(jobs, slots)
+            elif kind == "addition":
+                self._run_fused_addition_layer(jobs, slots)
+            else:
+                raise ValueError(f"unknown fused layer kind {kind!r}")
         return launches
 
     # ------------------------------------------------------------------ #
-    def _run_fused_convolution_layer(self, pool, jobs: Sequence, slots: list[PowerSeries]) -> None:
+    def _run_fused_convolution_layer(self, jobs: Sequence, slots: list[PowerSeries]) -> None:
         def work(chunk):
             for base, job in chunk:
                 apply_convolution(slots, base, job)
 
-        self._dispatch(pool, jobs, work)
+        self._dispatch(jobs, work)
 
-    def _run_fused_scale_layer(self, pool, jobs: Sequence, slots: list[PowerSeries]) -> None:
+    def _run_fused_scale_layer(self, jobs: Sequence, slots: list[PowerSeries]) -> None:
         def work(chunk):
             for base, job in chunk:
                 apply_scale(slots, base, job)
 
-        self._dispatch(pool, jobs, work)
+        self._dispatch(jobs, work)
 
-    def _run_fused_addition_layer(self, pool, jobs: Sequence, slots: list[PowerSeries]) -> None:
+    def _run_fused_addition_layer(self, jobs: Sequence, slots: list[PowerSeries]) -> None:
         def work(chunk):
             for base, job in chunk:
                 apply_addition(slots, base, job)
 
-        self._dispatch(pool, jobs, work)
+        self._dispatch(jobs, work)
 
-    def _dispatch(self, pool, jobs: Sequence, work) -> None:
+    def _dispatch(self, jobs: Sequence, work) -> None:
         if not jobs:
             return
         chunks = chunk_evenly(list(jobs), self.workers)
         if len(chunks) == 1:
+            # A single chunk needs no barrier (and no pool): run inline.
             work(chunks[0])
             return
+        pool = self._ensure_pool()
         futures = [pool.submit(work, chunk) for chunk in chunks]
         done, _ = wait(futures)
         for future in done:

@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.circuits.testpolys import random_polynomial
 from repro.core import PolynomialEvaluator, schedule_for_polynomial
-from repro.parallel import LayerParallelExecutor, chunk_evenly
+from repro.parallel import LayerParallelExecutor, chunk_evenly, partition_paths
 from repro.series import random_fraction_series
 
 
@@ -32,6 +34,47 @@ class TestChunkEvenly:
         assert [x for chunk in chunks for x in chunk] == items
         sizes = [len(c) for c in chunks]
         assert max(sizes) - min(sizes) <= 1
+
+    @given(
+        n_items=st.integers(min_value=0, max_value=400),
+        parts=st.integers(min_value=1, max_value=64),
+    )
+    def test_property_permutation_free_cover(self, n_items, parts):
+        """Every partition covers the input exactly once, near-evenly.
+
+        The property the sharded fleet runner stakes correctness on: no
+        path lost, no path duplicated, order preserved, and chunk sizes
+        within one of each other.
+        """
+        items = list(range(n_items))
+        chunks = chunk_evenly(items, parts)
+        flattened = [x for chunk in chunks for x in chunk]
+        assert flattened == items  # cover, order-preserving, duplicate-free
+        assert all(chunk for chunk in chunks)
+        if chunks:
+            sizes = [len(chunk) for chunk in chunks]
+            assert max(sizes) - min(sizes) <= 1
+        assert len(chunks) <= parts
+
+    @given(
+        n_paths=st.integers(min_value=0, max_value=300),
+        workers=st.integers(min_value=1, max_value=16),
+        cap=st.one_of(st.none(), st.integers(min_value=1, max_value=50)),
+    )
+    def test_property_shard_partition_cover(self, n_paths, workers, cap):
+        """Shard plans inherit the permutation-free-cover property."""
+        plans = partition_paths(n_paths, workers, max_shard_size=cap)
+        flattened = [i for plan in plans for i in plan.indices]
+        assert flattened == list(range(n_paths))
+        assert [plan.shard for plan in plans] == list(range(len(plans)))
+        if plans:
+            sizes = [plan.n_paths for plan in plans]
+            assert max(sizes) - min(sizes) <= 1
+            assert all(size >= 1 for size in sizes)
+            if cap is not None:
+                assert max(sizes) <= cap
+        if cap is None:
+            assert len(plans) <= workers
 
 
 class TestLayerParallelExecutor:
@@ -68,3 +111,71 @@ class TestLayerParallelExecutor:
         # Slots of the wrong length make the convolution jobs fail inside the pool.
         with pytest.raises(Exception):
             executor.run_schedule(schedule, [None] * schedule.layout.total_slots)
+
+    def test_pool_is_reused_across_calls(self, rng):
+        """The regression the satellite fix targets: one pool, many calls."""
+        p = random_polynomial(4, 6, 2, degree=2, kind="fraction", rng=rng, max_exponent=2)
+        evaluator = PolynomialEvaluator(p, mode="staged")
+        executor = LayerParallelExecutor(workers=2)
+        assert not executor.pool_active
+        pools = set()
+        for _ in range(3):
+            z = [random_fraction_series(2, rng) for _ in range(4)]
+            slots = evaluator._prepare_slots(z)
+            executor.run_schedule(evaluator.schedule, slots)
+            assert executor.pool_active
+            pools.add(id(executor._pool))
+        assert len(pools) == 1, "the executor rebuilt its thread pool between calls"
+        executor.close()
+        assert not executor.pool_active
+
+    def test_close_is_idempotent_and_executor_stays_usable(self, rng):
+        p = random_polynomial(4, 5, 2, degree=2, kind="fraction", rng=rng, max_exponent=2)
+        z = [random_fraction_series(2, rng) for _ in range(4)]
+        evaluator = PolynomialEvaluator(p, mode="staged")
+        executor = LayerParallelExecutor(workers=2)
+        executor.close()  # closing an unopened pool is a no-op
+        slots = evaluator._prepare_slots(z)
+        executor.run_schedule(evaluator.schedule, slots)
+        executor.close()
+        executor.close()
+        # A closed executor transparently rebuilds its pool on the next call.
+        slots = evaluator._prepare_slots(z)
+        executor.run_schedule(evaluator.schedule, slots)
+        expected = PolynomialEvaluator(p, mode="reference").evaluate(z)
+        assert slots[evaluator.schedule.value_slot] == expected.value
+        executor.close()
+
+    def test_context_manager_closes_pool(self, rng):
+        p = random_polynomial(4, 5, 2, degree=2, kind="fraction", rng=rng, max_exponent=2)
+        z = [random_fraction_series(2, rng) for _ in range(4)]
+        evaluator = PolynomialEvaluator(p, mode="staged")
+        with LayerParallelExecutor(workers=2) as executor:
+            slots = evaluator._prepare_slots(z)
+            executor.run_schedule(evaluator.schedule, slots)
+            assert executor.pool_active
+        assert not executor.pool_active
+
+    def test_evaluator_reuses_one_executor(self, rng):
+        """The parallel mode holds one executor for the evaluator's lifetime."""
+        p = random_polynomial(4, 5, 2, degree=2, kind="fraction", rng=rng, max_exponent=2)
+        evaluator = PolynomialEvaluator(p, mode="parallel", workers=2)
+        z = [random_fraction_series(2, rng) for _ in range(4)]
+        evaluator.evaluate(z)
+        first = evaluator._pool_executor
+        evaluator.evaluate(z)
+        assert evaluator._pool_executor is first
+        assert first is not None
+
+    def test_system_evaluator_reuses_one_executor(self, rng):
+        """The system evaluator's parallel branch shares one executor too."""
+        from repro.core import SystemEvaluator
+
+        p = random_polynomial(4, 5, 2, degree=2, kind="fraction", rng=rng, max_exponent=2)
+        evaluator = SystemEvaluator([p], mode="parallel", workers=2)
+        z = [random_fraction_series(2, rng) for _ in range(4)]
+        evaluator.evaluate_batch([z, z])
+        first = evaluator._pool_executor
+        evaluator.evaluate_batch([z, z])
+        assert evaluator._pool_executor is first
+        assert first is not None
