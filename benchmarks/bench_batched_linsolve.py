@@ -20,13 +20,13 @@ as machine-readable JSON under ``benchmarks/results/``.
 
 from __future__ import annotations
 
-import json
 import os
 import random
 import time
 from itertools import combinations
 
-from conftest import RESULTS_DIR, emit
+from _schema import write_artifact
+from conftest import emit
 from repro.circuits.testpolys import make_polynomial_from_structure
 from repro.core import ScheduleCache
 from repro.gpusim.timing import TimingModel
@@ -168,10 +168,7 @@ def test_batched_linsolve_newton_sweep():
             "launches": len(solve_model.launches),
         },
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "bench_batched_linsolve.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    write_artifact("bench_batched_linsolve", payload)
 
     lines = [
         "batched tensor linear solver: Newton sweeps on the square mini-p1 "

@@ -19,13 +19,13 @@ artifacts).
 
 from __future__ import annotations
 
-import json
 import os
 import random
 import time
 from itertools import combinations
 
-from conftest import RESULTS_DIR, emit
+from _schema import write_artifact
+from conftest import emit
 from repro.circuits.testpolys import make_polynomial_from_structure
 from repro.core import ScheduleCache, SystemEvaluator
 from repro.gpusim.timing import TimingModel
@@ -188,10 +188,7 @@ def test_complex_tensor_newton_sweep():
         "resident_sweeps": sweeps,
         "gpu_resident_model": resident_model,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "bench_complex_tensor.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    write_artifact("bench_complex_tensor", payload)
 
     lines = [
         "complex tensor backend: batched Newton on the square mini-p1 "

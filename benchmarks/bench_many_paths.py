@@ -29,12 +29,12 @@ retry counts, per-shard scaling) under ``benchmarks/results/``.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
 import pytest
-from conftest import RESULTS_DIR, emit
+from _schema import write_artifact
+from conftest import emit
 from repro.circuits import parse_polynomial
 from repro.homotopy import PolynomialSystem, RetryPolicy, TrackOptions, track_paths
 from repro.md import MultiDouble
@@ -213,10 +213,7 @@ def test_many_paths_adaptive_vs_global_restart():
         },
         "speedup": speedup,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "bench_many_paths.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    write_artifact("bench_many_paths", payload)
 
     tail = payload["adaptive"]["steps_tail"]
     lines = [
@@ -282,10 +279,7 @@ def test_many_paths_sharded_vs_single_process():
         },
         "speedup": speedup,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "bench_many_paths_sharded.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    write_artifact("bench_many_paths_sharded", payload)
 
     by_shard = ", ".join(
         f"#{row['shard']}: {row['paths']}p/"

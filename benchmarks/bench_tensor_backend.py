@@ -12,12 +12,12 @@ persisted both as a text table and as machine-readable JSON under
 
 from __future__ import annotations
 
-import json
 import os
 import random
 import time
 
-from conftest import RESULTS_DIR, emit
+from _schema import write_artifact
+from conftest import emit
 from repro.circuits.testpolys import (
     make_polynomial_from_structure,
     p1_structure,
@@ -124,10 +124,7 @@ def test_tensor_backend_sweeps():
         "headline": headline,
         "sweeps": sweeps,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "bench_tensor_backend.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    write_artifact("bench_tensor_backend", payload)
 
     lines = [
         "tensorized backend vs staged/parallel sweeps "

@@ -31,3 +31,29 @@ def emit(name: str, text: str) -> None:
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _validate_written_artifacts():
+    """Audit every JSON artifact written this session against the envelope.
+
+    Benchmarks persist JSON through :func:`_schema.write_artifact`, which
+    registers the path; at session teardown each registered file must load
+    and satisfy the ``repro-bench/1`` envelope (schema id, matching name,
+    full environment stamp).  A writer that bypasses the envelope or emits
+    broken JSON fails the whole session here rather than silently shipping
+    an unidentifiable artifact.
+    """
+    import _schema
+
+    yield
+    failures = []
+    for path in _schema.WRITTEN_ARTIFACTS:
+        try:
+            _schema.validate_path(path)
+        except Exception as exc:  # noqa: BLE001 - collect all failures
+            failures.append(f"{path}: {exc}")
+    if failures:
+        raise pytest.UsageError(
+            "benchmark artifacts failed schema validation:\n" + "\n".join(failures)
+        )

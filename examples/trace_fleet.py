@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Trace a many-path fleet with the ``repro.obs`` telemetry subsystem.
+
+Tracks a small fleet with ~25% stiff paths (so the precision-escalation
+retry ladder fires), records every span/counter/ledger entry along the way,
+and writes a Chrome/Perfetto trace plus an aggregated report:
+
+    traces/trace.json    # load at https://ui.perfetto.dev
+    traces/report.json   # machine-readable aggregate
+
+then pretty-prints the same report — equivalent to::
+
+    python -m repro.obs traces/trace.json
+
+Run with::
+
+    python examples/trace_fleet.py
+"""
+
+from __future__ import annotations
+
+from repro import RetryPolicy, TrackOptions, track_paths
+from repro.circuits import parse_polynomial
+from repro.homotopy import PolynomialSystem
+from repro.md import MultiDouble
+from repro.obs import get_telemetry, render_text
+
+STIFFNESS = 1.0e6
+TOLERANCE = 1.0e-22
+
+
+class RetryFamily:
+    """``(x - u(t)) (x - 1) = 0`` with ``u(t) = 2 + B t^2``.
+
+    The root ``x = u(t)`` carries a residual floor of roughly ``u^2 eps``
+    that double doubles cannot push below the tolerance near ``t = 1`` (the
+    stiff quarter of the fleet); ``x = 1`` stays exact.  A module-level
+    class so it pickles — add ``shards=N`` to the options below and the
+    same run produces one merged trace across worker processes.
+    """
+
+    def __init__(self, precision: int = 2):
+        self.precision = precision
+
+    def _md(self, value: float) -> MultiDouble:
+        return MultiDouble.from_float(float(value), self.precision)
+
+    def __call__(self, t0: float, degree: int) -> PolynomialSystem:
+        md = self._md
+        poly = parse_polynomial(
+            "x1^2 + x1", degree=degree, kind="md", precision=self.precision
+        )
+        u = [md(2.0 + STIFFNESS * t0 * t0), md(2.0 * STIFFNESS * t0), md(STIFFNESS)]
+        u += [md(0.0)] * (degree + 1 - len(u))
+        poly.constant.coefficients[:] = u
+        linear = next(m for m in poly.monomials if m.exponents == ((0, 1),))
+        negated = [-(c) for c in u]
+        negated[0] = -(md(1.0) + u[0])
+        linear.coefficient.coefficients[:] = negated
+        return PolynomialSystem([poly])
+
+
+def main() -> None:
+    starts = [[2.0] if i % 4 == 0 else [1.0] for i in range(32)]
+    options = TrackOptions().override(
+        degree=8,
+        mode="vectorized",
+        step={"grow": 1.0},
+        newton={"max_iterations": 6, "tolerance": TOLERANCE},
+        retry=RetryPolicy(precision_ladder=(4,), max_rejections=2),
+        # The per-call telemetry layer: enable spans + the ledger and write
+        # traces/{trace.json,report.json} when the call finishes.  The same
+        # layer comes from REPRO_TELEMETRY=1 / REPRO_OBS_SINK=traces.
+        telemetry={"enabled": True, "sink": "traces"},
+    )
+
+    report = track_paths(RetryFamily(), starts, options=options)
+    print(
+        f"tracked {report.n_paths} paths: {report.n_converged} converged, "
+        f"{report.total_retries} retries, {report.total_packs} packs, "
+        f"cache {report.cache.get('hits', 0)} hits / "
+        f"{report.cache.get('misses', 0)} misses"
+    )
+    print("wrote traces/trace.json and traces/report.json\n")
+    print(render_text(get_telemetry().report()))
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,9 @@ The package is organised in layers (see DESIGN.md for the full inventory):
     capacity model, functional kernels and the calibrated timing model.
 ``repro.parallel``
     Host-side multi-threaded execution of the layered schedule.
+``repro.obs``
+    Fleet telemetry: spans, counters/gauges, Chrome/Perfetto trace export
+    and the measured-vs-predicted timing ledger (default-off).
 ``repro.homotopy``
     The motivating application: power-series Newton and a small path tracker.
 ``repro.analysis``
@@ -91,6 +94,7 @@ from .homotopy import (
     track_paths,
 )
 from .parallel import ShardedFleetRunner
+from .obs import ObsConfig, Telemetry, get_telemetry
 
 __all__ = [
     "__version__",
@@ -145,4 +149,7 @@ __all__ = [
     "TrackManyReport",
     "TrackOptions",
     "track_paths",
+    "ObsConfig",
+    "Telemetry",
+    "get_telemetry",
 ]

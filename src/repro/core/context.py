@@ -39,6 +39,7 @@ produce.
 
 from __future__ import annotations
 
+from time import perf_counter_ns as _perf_counter_ns
 from typing import Sequence
 
 import numpy as np
@@ -46,6 +47,7 @@ import numpy as np
 from ..circuits.powers import PowerTable
 from ..circuits.reference import EvaluationResult
 from ..errors import StagingError
+from ..obs import get_telemetry
 from ..series.series import PowerSeries
 from .tensor import (
     ComplexSlotTensor,
@@ -57,6 +59,10 @@ from .tensor import (
 )
 
 __all__ = ["EvalContext"]
+
+#: Process-wide telemetry registry; ``enabled`` is a plain attribute so the
+#: disabled hot path costs exactly one attribute check per call site.
+_TELEMETRY = get_telemetry()
 
 
 class EvalContext:
@@ -102,6 +108,10 @@ class EvalContext:
         self._adjusted: list[tuple[int, int, int]] = []
         self._value_rows: np.ndarray | None = None
         self._grad_rows: np.ndarray | None = None
+        # Telemetry-only memo caches: TimingModel predictions per active
+        # count / series count, built lazily and only while telemetry is on.
+        self._predicted_sweeps: dict[int, float | None] = {}
+        self._timing_model = None
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -241,6 +251,8 @@ class EvalContext:
         if self._system_dirty:
             self._rewrite_system_rows()
             self._system_dirty = False
+        tel = _TELEMETRY
+        t0 = tel.enabled and _perf_counter_ns()
         tensor = self._tensor
         stride = self._evaluator.fused.total_slots
         dimension = self._evaluator.dimension
@@ -256,6 +268,19 @@ class EvalContext:
                     monomial = polynomials[equation].monomials[monomial_index]
                     adjusted, _, _ = monomial.split_common_factor(z, table)
                     tensor.write_series((base + row,), adjusted)
+        if t0:
+            end = _perf_counter_ns()
+            instances = self._active_instances().size
+            tel.record_span(
+                "context.update_inputs", t0, end, instances=int(instances)
+            )
+            tel.count("context.input_updates")
+            fused = self._evaluator.fused
+            predicted = self._predicted_transfer_ms(
+                fused.variable_slot_count * int(instances)
+            )
+            if predicted is not None:
+                tel.ledger("transfer", (end - t0) / 1e6, predicted)
 
     def _polynomials_of(self, instance: int):
         """The polynomial list evaluated at ``instance`` (fleet-aware)."""
@@ -265,6 +290,8 @@ class EvalContext:
 
     def _pack(self, zs: list[list[PowerSeries]]) -> None:
         """First-time packing: choose the ring, pack, compile, index rows."""
+        tel = _TELEMETRY
+        t0 = tel.enabled and _perf_counter_ns()
         evaluator = self._evaluator
         system_ring = evaluator._ring_of_system()
         input_ring = infer_ring(series for z in zs for series in z) if system_ring else None
@@ -280,6 +307,8 @@ class EvalContext:
             tensor = self._relocate(tensor)
         self._tensor = tensor
         self._ring = (kind, limbs)
+        self._predicted_sweeps = {}
+        self._timing_model = None
         self._packs += 1
         from .tensor import compile_tensor_program
 
@@ -288,6 +317,23 @@ class EvalContext:
             lambda: compile_tensor_program(evaluator.fused),
         )
         self._index_rows()
+        if t0:
+            end = _perf_counter_ns()
+            tel.record_span(
+                "context.pack",
+                t0,
+                end,
+                batch=self._batch,
+                ring=kind,
+                limbs=limbs,
+                adopted=self._adopted,
+            )
+            tel.count("context.packs")
+            predicted = self._predicted_transfer_ms(
+                evaluator.fused.input_slot_count * self._batch
+            )
+            if predicted is not None:
+                tel.ledger("transfer", (end - t0) / 1e6, predicted)
 
     def _relocate(self, tensor):
         """Move the just-packed tensor into the externally-owned buffer.
@@ -432,6 +478,8 @@ class EvalContext:
         if self._system_dirty:
             self._rewrite_system_rows()
             self._system_dirty = False
+        tel = _TELEMETRY
+        t0 = tel.enabled and _perf_counter_ns()
         tensor = self._tensor
         if self._active is None:
             tensor.zero_rows(self._work_rows)
@@ -444,6 +492,23 @@ class EvalContext:
         self._runs += 1
         evaluator = self._evaluator
         kind, limbs = self._ring
+        if t0:
+            end = _perf_counter_ns()
+            active = self._batch if self._active is None else int(self._active.size)
+            kernel = "sweep" if active == self._batch else "masked-sweep"
+            tel.record_span(
+                "context.sweep",
+                t0,
+                end,
+                kind=kernel,
+                batch=self._batch,
+                active=active,
+                limbs=limbs,
+            )
+            tel.gauge("sweep.active_density", active / self._batch)
+            predicted = self._predicted_sweep_ms(active)
+            if predicted is not None:
+                tel.ledger(kernel, (end - t0) / 1e6, predicted)
         return {
             "mode": "vectorized",
             "ring": kind,
@@ -456,6 +521,46 @@ class EvalContext:
             "resident_runs": self._runs,
             "packs": self._packs,
         }
+
+    # ------------------------------------------------------------------ #
+    # telemetry predictions (measured-vs-predicted ledger)
+    # ------------------------------------------------------------------ #
+    def _timing_model_for_ring(self):
+        """A ``TimingModel`` at this context's ring, or ``None`` (memoised)."""
+        if self._timing_model is None:
+            try:
+                from ..gpusim.timing import TimingModel
+
+                self._timing_model = TimingModel(
+                    device=self._evaluator.device, precision=self._ring[1]
+                )
+            except Exception:
+                self._timing_model = False
+        return self._timing_model or None
+
+    def _predicted_sweep_ms(self, active: int) -> float | None:
+        """Predicted wall clock of one sweep at ``active`` instances."""
+        if active not in self._predicted_sweeps:
+            model = self._timing_model_for_ring()
+            try:
+                self._predicted_sweeps[active] = (
+                    None
+                    if model is None
+                    else model.predict(
+                        self._evaluator.fused, batch=active
+                    ).wall_clock_ms
+                )
+            except Exception:
+                self._predicted_sweeps[active] = None
+        return self._predicted_sweeps[active]
+
+    def _predicted_transfer_ms(self, n_series: int) -> float | None:
+        """Predicted H2D copy time of ``n_series`` series in this ring."""
+        model = self._timing_model_for_ring()
+        if model is None:
+            return None
+        planes = 2 if isinstance(self._tensor, ComplexSlotTensor) else 1
+        return model.transfer_ms(n_series, self._evaluator.fused.degree, planes)
 
     # ------------------------------------------------------------------ #
     # in-tensor consumers (batched Newton)
@@ -652,6 +757,8 @@ class EvalContext:
             )
         self._instance_evaluators = None
         self._retarget(evaluator, [evaluator])
+        if _TELEMETRY.enabled:
+            _TELEMETRY.count("context.rebinds")
         return self
 
     def rebind_fleet(self, evaluators) -> "EvalContext":
@@ -680,6 +787,8 @@ class EvalContext:
                 )
         self._instance_evaluators = evaluators
         self._retarget(evaluators[0], evaluators)
+        if _TELEMETRY.enabled:
+            _TELEMETRY.count("context.rebinds")
         return self
 
     def _retarget(self, evaluator, ring_sources) -> None:

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from time import perf_counter_ns as _perf_counter_ns
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Sequence
 
@@ -37,6 +38,7 @@ from ..circuits.polynomial import Polynomial
 from ..circuits.powers import PowerTable
 from ..circuits.reference import EvaluationResult, evaluate_reference
 from ..errors import StagingError
+from ..obs import get_telemetry
 from ..series.series import PowerSeries
 from .evaluator import collect_result, prepare_slots
 from .jobs import (
@@ -59,6 +61,10 @@ __all__ = [
 ]
 
 _MODES = ("reference", "staged", "parallel", "gpu", "vectorized")
+
+#: Process-wide telemetry registry; ``enabled`` is a plain attribute so the
+#: disabled hot path costs exactly one attribute check per call site.
+_TELEMETRY = get_telemetry()
 
 #: Distinguishes "not cached" from a cached value of ``None``.
 _CACHE_MISS = object()
@@ -93,6 +99,8 @@ class ScheduleCache:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.build_waits = 0
         self._entries: OrderedDict[tuple, object] = OrderedDict()
         # Guards the entry table and counters only — never held across a
         # builder call.
@@ -114,6 +122,8 @@ class ScheduleCache:
             if entry is not _CACHE_MISS:
                 self.hits += 1
                 self._entries.move_to_end(key)
+                if _TELEMETRY.enabled:
+                    _TELEMETRY.count("schedule_cache.hits")
                 return entry
             build_lock = self._build_locks.setdefault(key, threading.RLock())
         with build_lock:
@@ -122,8 +132,14 @@ class ScheduleCache:
                 # while we waited on its lock.
                 entry = self._entries.get(key, _CACHE_MISS)
                 if entry is not _CACHE_MISS:
+                    # We queued behind another thread's in-flight build of
+                    # this very key: a hit, but one that paid a build wait.
                     self.hits += 1
+                    self.build_waits += 1
                     self._entries.move_to_end(key)
+                    if _TELEMETRY.enabled:
+                        _TELEMETRY.count("schedule_cache.hits")
+                        _TELEMETRY.count("schedule_cache.build_waits")
                     return entry
             # On failure the build lock deliberately stays in the map: other
             # threads already queued on this lock object retry under it, and
@@ -138,7 +154,10 @@ class ScheduleCache:
                 self._entries.move_to_end(key)
                 while len(self._entries) > self.maxsize:
                     self._entries.popitem(last=False)
+                    self.evictions += 1
                 self._build_locks.pop(key, None)
+            if _TELEMETRY.enabled:
+                _TELEMETRY.count("schedule_cache.misses")
             return entry
 
     def export_entries(self, keys: Sequence[tuple] | None = None) -> dict:
@@ -171,6 +190,7 @@ class ScheduleCache:
                 self._build_locks.pop(key, None)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop all entries and reset the hit/miss counters.
@@ -186,13 +206,21 @@ class ScheduleCache:
             self._build_locks.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
+            self.build_waits = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
     def stats(self) -> dict:
-        """Hit/miss accounting (``hit_rate`` is 0.0 before the first lookup)."""
+        """Hit/miss/eviction/build-wait accounting.
+
+        ``hit_rate`` is 0.0 before the first lookup.  ``build_waits`` counts
+        hits that queued behind another thread's in-flight build of the same
+        key; ``evictions`` counts entries dropped by the LRU bound (both in
+        :meth:`get` and :meth:`install_entries`).
+        """
         with self._lock:
             lookups = self.hits + self.misses
             return {
@@ -201,6 +229,8 @@ class ScheduleCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "hit_rate": self.hits / lookups if lookups else 0.0,
+                "evictions": self.evictions,
+                "build_waits": self.build_waits,
             }
 
     def __repr__(self) -> str:
@@ -530,16 +560,24 @@ class SystemEvaluator:
         ring fell back), so the two entry points cannot drift.
         """
         mode = self.mode if mode is None else mode
+        tel = _TELEMETRY
+        t0 = tel.enabled and _perf_counter_ns()
         if mode == "reference":
-            return [
+            results = [
                 [evaluate_reference(polynomial, z) for polynomial in self.polynomials]
                 for z in zs
             ]
-        if mode == "gpu":
-            return self._evaluate_gpu(zs)
-        if mode == "vectorized":
-            return self._evaluate_vectorized(zs)
-        return self._evaluate_staged(zs, parallel=(mode == "parallel"))
+        elif mode == "gpu":
+            results = self._evaluate_gpu(zs)
+        elif mode == "vectorized":
+            results = self._evaluate_vectorized(zs)
+        else:
+            results = self._evaluate_staged(zs, parallel=(mode == "parallel"))
+        if t0:
+            tel.record_span(
+                "system.sweep", t0, _perf_counter_ns(), mode=mode, batch=len(zs)
+            )
+        return results
 
     def make_context(self, batch: int, buffer=None) -> "EvalContext":
         """A resident :class:`repro.core.EvalContext` for ``batch`` instances.

@@ -41,6 +41,7 @@ usage error and raises :class:`ValueError`, exactly like the scalar solver.
 
 from __future__ import annotations
 
+from time import perf_counter_ns as _perf_counter_ns
 from typing import Sequence
 
 import numpy as np
@@ -57,6 +58,7 @@ from ..core.tensor import (
 from ..errors import SingularSystemError
 from ..md.cvecops import cmd_add_rows, cmd_mul_rows, cmd_reciprocal_rows, cmd_sub_rows
 from ..md.vecops import md_add_rows, md_mul_rows, md_reciprocal_rows, md_sub_rows
+from ..obs import get_telemetry
 from ..series.series import PowerSeries
 from .linsolve import lu_solve
 
@@ -68,6 +70,34 @@ __all__ = [
     "series_inverse_rows_complex",
     "solve_packed",
 ]
+
+#: Process-wide telemetry registry; ``enabled`` is a plain attribute so the
+#: disabled hot path costs exactly one attribute check per call site.
+_TELEMETRY = get_telemetry()
+
+#: Memoised ``TimingModel.predict_solve`` wall-clock estimates, keyed on
+#: ``(dimension, degree, batch, limbs)`` — solves recur at identical shapes
+#: throughout a Newton run, so each shape is priced once.
+_SOLVE_PREDICTIONS: dict[tuple, float | None] = {}
+
+
+def _predicted_solve_ms(
+    dimension: int, degree: int, batch: int, limbs: int
+) -> float | None:
+    key = (dimension, degree, batch, limbs)
+    if key not in _SOLVE_PREDICTIONS:
+        if len(_SOLVE_PREDICTIONS) > 4096:
+            _SOLVE_PREDICTIONS.clear()
+        try:
+            from ..gpusim.timing import TimingModel
+
+            model = TimingModel(precision=limbs)
+            _SOLVE_PREDICTIONS[key] = model.predict_solve(
+                dimension, degree, batch
+            ).wall_clock_ms
+        except Exception:
+            _SOLVE_PREDICTIONS[key] = None
+    return _SOLVE_PREDICTIONS[key]
 
 
 # --------------------------------------------------------------------- #
@@ -459,9 +489,27 @@ def solve_packed(matrix, rhs, limbs: int, active: Sequence[int] | None = None):
         out = np.zeros_like(rhs)
         out[:, indices] = solved
         return out
+    tel = _TELEMETRY
+    t0 = tel.enabled and _perf_counter_ns()
     if isinstance(matrix, tuple):
-        return batch_lu_solve_tensor_complex(matrix[0], matrix[1], rhs[0], rhs[1], limbs)
-    return batch_lu_solve_tensor(matrix, rhs, limbs)
+        solved = batch_lu_solve_tensor_complex(
+            matrix[0], matrix[1], rhs[0], rhs[1], limbs
+        )
+        plane = matrix[0]
+    else:
+        solved = batch_lu_solve_tensor(matrix, rhs, limbs)
+        plane = matrix
+    if t0:
+        end = _perf_counter_ns()
+        _, m, n, _, width = plane.shape
+        tel.record_span(
+            "solve.packed", t0, end, batch=int(m), dimension=int(n), limbs=limbs
+        )
+        tel.count("solve.launches")
+        predicted = _predicted_solve_ms(int(n), width - 1, int(m), limbs)
+        if predicted is not None:
+            tel.ledger("solve", (end - t0) / 1e6, predicted)
+    return solved
 
 
 def batch_lu_solve(

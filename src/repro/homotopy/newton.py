@@ -36,13 +36,23 @@ from .systems import PolynomialSystem
 __all__ = ["NewtonStep", "NewtonResult", "newton_power_series", "newton_power_series_batch"]
 
 
-def _resolve_newton_options(options: NewtonOptions | None, **legacy) -> NewtonOptions:
+_LEGACY_NEWTON_MESSAGE = (
+    "the per-keyword Newton knobs (max_iterations, tolerance, "
+    "raise_on_failure, mode, solver) are deprecated; pass "
+    "options=NewtonOptions(...) instead"
+)
+
+
+def _resolve_newton_options(options: NewtonOptions | None, **legacy) -> tuple[NewtonOptions, bool]:
     """Layer the deprecated per-keyword knobs into one :class:`NewtonOptions`.
 
     ``options`` wins when given (mixing it with legacy keywords is an
     error, since the two could silently disagree); legacy keywords build an
-    equivalent options object — bit-identical behaviour — and emit one
-    :class:`DeprecationWarning`.
+    equivalent options object — bit-identical behaviour.  Returns the
+    resolved options and whether legacy keywords were used; the *public*
+    driver emits the :class:`DeprecationWarning` itself (with a literal
+    ``stacklevel=2``) so the warning location always names its caller
+    regardless of how many frames this helper sits below.
     """
     given = {key: value for key, value in legacy.items() if value is not None}
     if options is not None:
@@ -51,17 +61,10 @@ def _resolve_newton_options(options: NewtonOptions | None, **legacy) -> NewtonOp
                 "pass either options= or the legacy keywords "
                 f"({', '.join(sorted(given))}), not both"
             )
-        return options
+        return options, False
     if given:
-        warnings.warn(
-            "the per-keyword Newton knobs (max_iterations, tolerance, "
-            "raise_on_failure, mode, solver) are deprecated; pass "
-            "options=NewtonOptions(...) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return NewtonOptions(**given)
-    return NewtonOptions()
+        return NewtonOptions(**given), True
+    return NewtonOptions(), False
 
 
 @dataclass(frozen=True)
@@ -144,12 +147,14 @@ def newton_power_series(
         share a single packed tensor.  Without one, a context is created
         for this refinement, so the whole iteration still packs only once.
     """
-    options = _resolve_newton_options(
+    options, deprecated = _resolve_newton_options(
         options,
         max_iterations=max_iterations,
         tolerance=tolerance,
         raise_on_failure=raise_on_failure,
     )
+    if deprecated:
+        warnings.warn(_LEGACY_NEWTON_MESSAGE, DeprecationWarning, stacklevel=2)
     max_iterations = options.max_iterations
     tolerance = options.tolerance
     raise_on_failure = options.raise_on_failure
@@ -238,7 +243,7 @@ def newton_power_series_batch(
     ``options.raise_on_failure`` a :class:`repro.errors.ConvergenceError` is
     raised when any instance misses the tolerance.
     """
-    options = _resolve_newton_options(
+    options, deprecated = _resolve_newton_options(
         options,
         max_iterations=max_iterations,
         tolerance=tolerance,
@@ -246,6 +251,8 @@ def newton_power_series_batch(
         mode=mode,
         solver=solver,
     )
+    if deprecated:
+        warnings.warn(_LEGACY_NEWTON_MESSAGE, DeprecationWarning, stacklevel=2)
     max_iterations = options.max_iterations
     tolerance = options.tolerance
     raise_on_failure = options.raise_on_failure

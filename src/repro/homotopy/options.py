@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from ..md.precision import PRECISIONS
+from ..obs.config import ObsConfig, coerce_layer
 
 __all__ = [
     "NewtonOptions",
@@ -264,6 +265,14 @@ class TrackOptions:
     divergence detection, precision escalation) or ``"lockstep"`` (the fixed
     shared grid of :meth:`repro.homotopy.TaylorPathTracker.track_many`, no
     retries).
+
+    ``telemetry`` is a per-call override layered onto the process-wide
+    :mod:`repro.obs` configuration for the duration of the call: ``None``
+    inherits it unchanged, ``True``/``False`` flips recording on or off, and
+    a mapping (``telemetry={"enabled": True, "sample": 0.5}``) or
+    :class:`repro.obs.ObsConfig` overrides the named fields.  The override
+    travels with the options object into sharded workers, so one knob
+    switches the whole fleet.
     """
 
     degree: int = 8
@@ -275,6 +284,7 @@ class TrackOptions:
     step: StepControl = field(default_factory=StepControl)
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     shard: ShardOptions = field(default_factory=ShardOptions)
+    telemetry: ObsConfig | bool | None = None
 
     def __post_init__(self):
         if self.degree < 1:
@@ -283,6 +293,10 @@ class TrackOptions:
             raise ValueError(
                 f"scheduler must be 'adaptive' or 'lockstep', got {self.scheduler!r}"
             )
+        # Normalise mappings (and validate everything else) into the frozen,
+        # picklable ObsConfig shape, so options objects stay hashable-ish and
+        # spawn workers receive the exact same layer.
+        object.__setattr__(self, "telemetry", coerce_layer(self.telemetry))
 
     # ------------------------------------------------------------------ #
     def override(self, **overrides) -> "TrackOptions":

@@ -50,12 +50,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from time import perf_counter_ns as _perf_counter_ns
 from typing import Callable, Sequence
 
 from ..core.tensor import infer_ring
 from ..errors import ConvergenceError, SingularSystemError, StagingError
 from ..md.complexmd import ComplexMD
 from ..md.multidouble import MultiDouble
+from ..obs import get_telemetry
 from ..series.series import PowerSeries
 from .linsolve import lu_solve, residual_norm
 from .batch_linsolve import solve_packed
@@ -64,6 +66,10 @@ from .pathtrack import PathPoint, PathTrackResult, _advance, _promote_step
 from .systems import PolynomialSystem, lift_value
 
 __all__ = ["PathStatus", "TrackManyReport", "PathScheduler", "track_paths"]
+
+#: Process-wide telemetry registry; ``enabled`` is a plain attribute so the
+#: disabled hot path costs exactly one attribute check per call site.
+_TELEMETRY = get_telemetry()
 
 
 @dataclass(frozen=True)
@@ -114,6 +120,10 @@ class TrackManyReport:
     #: One entry per worker shard when the run was process-sharded
     #: (:mod:`repro.parallel.shard`); empty for inline runs.
     shards: list[dict] = field(default_factory=list)
+    #: :meth:`repro.core.ScheduleCache.stats` of the cache the fleets used —
+    #: hits/misses/evictions/build-waits as of the end of the run.  Sharded
+    #: runs aggregate the workers' counts (plus one sub-dict per shard).
+    cache: dict = field(default_factory=dict)
 
     @property
     def n_paths(self) -> int:
@@ -152,6 +162,7 @@ class TrackManyReport:
             "packs": self.total_packs,
             "fleets": list(self.fleets),
             "shards": list(self.shards),
+            "cache": dict(self.cache),
             "steps": [status.steps for status in self.statuses],
             "rejections": [status.rejections for status in self.statuses],
         }
@@ -285,6 +296,24 @@ class PathScheduler:
         fleets run at higher limb counts than the buffer was sized for and
         always allocate locally.
         """
+        tel = _TELEMETRY
+        with tel.overridden(self.options.telemetry):
+            t0 = tel.enabled and _perf_counter_ns()
+            report = self._track(start_values, t_start, t_end, context_buffer)
+            if t0:
+                tel.record_span(
+                    "scheduler.track",
+                    t0,
+                    _perf_counter_ns(),
+                    paths=report.n_paths,
+                    converged=report.n_converged,
+                )
+            return report
+
+    def _track(
+        self, start_values, t_start: float, t_end: float, context_buffer
+    ) -> TrackManyReport:
+        tel = _TELEMETRY
         report = TrackManyReport()
         starts = [list(start) for start in start_values]
         if not starts:
@@ -306,6 +335,9 @@ class PathScheduler:
                 retry = [s for s in states if s.status == "failed"]
                 if not retry:
                     break
+                if tel.enabled:
+                    tel.count("scheduler.retries", len(retry))
+                    tel.count(f"scheduler.retries.limbs{limbs}", len(retry))
                 builder = self._lifted_builder(limbs)
                 for state in retry:
                     lifted = [lift_value(v, limbs) for v in state.start_values]
@@ -374,6 +406,8 @@ class PathScheduler:
         options = self.options
         degree = options.degree
         batch = len(states)
+        tel = _TELEMETRY
+        f0 = tel.enabled and _perf_counter_ns()
         for state in states:
             state.t_trial = float(t_start)
         solutions: list[list[PowerSeries]] = [
@@ -383,6 +417,7 @@ class PathScheduler:
         evaluators: list = [None] * batch
         rounds = 0
         while True:
+            r0 = tel.enabled and _perf_counter_ns()
             running = [p for p, state in enumerate(states) if state.status == "running"]
             if not running:
                 break
@@ -424,9 +459,19 @@ class PathScheduler:
                     self._reject(state, solutions[p], t_end)
                 else:
                     self._accept(state, solutions[p], verdict, t_end)
+            if r0:
+                tel.record_span(
+                    "scheduler.round",
+                    r0,
+                    _perf_counter_ns(),
+                    round=rounds,
+                    active=len(running),
+                    limbs=states[0].limbs,
+                )
         if options.retry.detect_crossings:
             self._flag_crossings(states)
         context.set_active(None)
+        report.cache = context.evaluator.cache.stats()
         report.fleets.append(
             {
                 "limbs": states[0].limbs,
@@ -437,6 +482,16 @@ class PathScheduler:
                 "adopted": context.adopted,
             }
         )
+        if f0:
+            tel.record_span(
+                "scheduler.fleet",
+                f0,
+                _perf_counter_ns(),
+                limbs=states[0].limbs,
+                paths=batch,
+                rounds=rounds,
+                packs=context.packs,
+            )
 
     # ------------------------------------------------------------------ #
     def _refine(self, context, running: list[int], solutions) -> dict[int, dict]:
@@ -682,6 +737,18 @@ def track_paths(
     (no retries) and wraps its results in the same report shape.
     """
     options = TrackOptions.make(options, **overrides)
+    tel = _TELEMETRY
+    with tel.overridden(options.telemetry):
+        report = _dispatch_track(system_family, starts, options, t_start, t_end)
+        if tel.enabled and tel.config.sink:
+            tel.write_sink()
+        return report
+
+
+def _dispatch_track(
+    system_family, starts, options: TrackOptions, t_start: float, t_end: float
+) -> TrackManyReport:
+    """Route a resolved options object to its tracking engine."""
     if options.scheduler == "lockstep":
         from .pathtrack import TaylorPathTracker
 

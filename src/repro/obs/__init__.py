@@ -1,0 +1,41 @@
+"""repro.obs — fleet telemetry: spans, counters, Chrome traces, and
+measured-vs-predicted timing across the tracking stack.
+
+Quick start::
+
+    import repro.obs as obs
+
+    obs.configure(enabled=True)          # or REPRO_TELEMETRY=1, or
+    report = track_paths(family, starts, telemetry=True)
+    tel = obs.get_telemetry()
+    tel.write_trace("trace.json")        # open in ui.perfetto.dev
+    print(obs.render_text(tel.report()))
+
+Telemetry is off by default and instrumented call sites reduce to a single
+attribute check when disabled.  Configuration layers: hard defaults →
+JSON file named by ``REPRO_OBS_CONFIG`` → ``REPRO_TELEMETRY`` /
+``REPRO_OBS_SAMPLE`` / ``REPRO_OBS_SINK`` environment variables →
+per-call ``TrackOptions.telemetry`` overrides.
+"""
+
+from .config import DEFAULT_OBS_CONFIG, ObsConfig, layer_config, resolve_config
+from .report import build_report, render_text, report_from_trace
+from .telemetry import Telemetry, configure, get_telemetry
+from .trace import chrome_trace, load_trace, merge_snapshots, write_trace
+
+__all__ = [
+    "ObsConfig",
+    "DEFAULT_OBS_CONFIG",
+    "Telemetry",
+    "get_telemetry",
+    "configure",
+    "resolve_config",
+    "layer_config",
+    "chrome_trace",
+    "write_trace",
+    "load_trace",
+    "merge_snapshots",
+    "build_report",
+    "render_text",
+    "report_from_trace",
+]

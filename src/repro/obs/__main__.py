@@ -1,0 +1,49 @@
+"""Pretty-print a saved telemetry artifact.
+
+Usage::
+
+    python -m repro.obs trace.json      # Chrome trace written by write_trace
+    python -m repro.obs report.json     # report written by write_report
+    python -m repro.obs --json trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .report import render_text, report_from_trace
+
+
+def _load_report(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if "traceEvents" in data:
+        return report_from_trace(data)
+    if {"counters", "spans", "ledger"} & set(data):
+        return data
+    raise SystemExit(f"{path}: not a repro.obs trace or report document")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Pretty-print a saved repro.obs trace or report.",
+    )
+    parser.add_argument("path", help="trace.json or report.json to render")
+    parser.add_argument(
+        "--json", action="store_true", help="emit the aggregated report as JSON"
+    )
+    args = parser.parse_args(argv)
+    report = _load_report(args.path)
+    if args.json:
+        json.dump(report, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        print(render_text(report))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

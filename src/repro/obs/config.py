@@ -1,0 +1,156 @@
+"""Layered configuration for the telemetry subsystem.
+
+Telemetry is resolved the way PHCpack resolves its solver settings: a
+hard-coded default layer, then a persistent configuration file, then
+environment variables, then per-call overrides (``TrackOptions.telemetry``).
+Each layer only touches the fields it names; everything else is inherited
+from the layer below.
+
+Layers, lowest priority first:
+
+1. **defaults** — telemetry off, record every span, no sink.
+2. **file** — JSON file named by ``REPRO_OBS_CONFIG`` (absent → skipped).
+3. **environment** — ``REPRO_TELEMETRY`` (truthy/falsy), ``REPRO_OBS_SAMPLE``
+   (float in ``(0, 1]``), ``REPRO_OBS_SINK`` (directory path).
+4. **per-call** — ``TrackOptions.telemetry``: ``bool`` flips ``enabled``,
+   a mapping or :class:`ObsConfig` overrides the named fields.
+
+An :class:`ObsConfig` with ``None`` fields is a *partial* layer; a fully
+resolved effective config never contains ``None`` for ``enabled``/``sample``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, replace
+from typing import Mapping, Optional
+
+__all__ = [
+    "ObsConfig",
+    "DEFAULT_OBS_CONFIG",
+    "coerce_layer",
+    "layer_config",
+    "resolve_config",
+]
+
+_TRUTHY = {"1", "true", "yes", "on", "enabled"}
+_FALSY = {"0", "false", "no", "off", "disabled", ""}
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """One layer of telemetry configuration.
+
+    ``None`` means "inherit from the layer below".  ``sample`` is the
+    fraction of spans recorded (counters and the ledger are never sampled);
+    ``sink`` is a directory that receives ``trace.json`` / ``report.json``
+    when a ``track_paths`` call finishes with telemetry enabled.
+    """
+
+    enabled: Optional[bool] = None
+    sample: Optional[float] = None
+    sink: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.enabled is not None and not isinstance(self.enabled, bool):
+            object.__setattr__(self, "enabled", bool(self.enabled))
+        if self.sample is not None:
+            sample = float(self.sample)
+            if not 0.0 < sample <= 1.0:
+                raise ValueError(
+                    f"telemetry sample must lie in (0, 1], got {sample!r}"
+                )
+            object.__setattr__(self, "sample", sample)
+        if self.sink is not None:
+            object.__setattr__(self, "sink", os.fspath(self.sink))
+
+    def merged_onto(self, base: "ObsConfig") -> "ObsConfig":
+        """Return ``base`` with this layer's non-``None`` fields applied."""
+        return ObsConfig(
+            enabled=base.enabled if self.enabled is None else self.enabled,
+            sample=base.sample if self.sample is None else self.sample,
+            sink=base.sink if self.sink is None else self.sink,
+        )
+
+
+DEFAULT_OBS_CONFIG = ObsConfig(enabled=False, sample=1.0, sink=None)
+
+
+def coerce_layer(layer) -> Optional[ObsConfig]:
+    """Normalise a per-call telemetry override into a partial ObsConfig.
+
+    Accepts ``None`` (no override), a ``bool`` (flip ``enabled``), a mapping
+    with a subset of the ObsConfig fields, or an ObsConfig.
+    """
+    if layer is None or isinstance(layer, ObsConfig):
+        return layer
+    if isinstance(layer, bool):
+        return ObsConfig(enabled=layer)
+    if isinstance(layer, Mapping):
+        unknown = set(layer) - {"enabled", "sample", "sink"}
+        if unknown:
+            raise TypeError(
+                f"unknown telemetry option(s): {sorted(unknown)}; "
+                "expected 'enabled', 'sample', 'sink'"
+            )
+        return ObsConfig(**layer)
+    raise TypeError(
+        "telemetry must be None, a bool, a mapping, or an ObsConfig, "
+        f"got {type(layer).__name__}"
+    )
+
+
+def layer_config(base: ObsConfig, layer) -> ObsConfig:
+    """Apply a per-call override on top of a resolved config."""
+    partial = coerce_layer(layer)
+    if partial is None:
+        return base
+    return partial.merged_onto(base)
+
+
+def _parse_bool(raw: str, *, source: str) -> bool:
+    lowered = raw.strip().lower()
+    if lowered in _TRUTHY:
+        return True
+    if lowered in _FALSY:
+        return False
+    raise ValueError(f"cannot interpret {source}={raw!r} as a boolean")
+
+
+def _file_layer(environ: Mapping[str, str]) -> ObsConfig:
+    path = environ.get("REPRO_OBS_CONFIG")
+    if not path:
+        return ObsConfig()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return ObsConfig()
+    if not isinstance(data, Mapping):
+        return ObsConfig()
+    known = {key: data[key] for key in ("enabled", "sample", "sink") if key in data}
+    return ObsConfig(**known)
+
+
+def _env_layer(environ: Mapping[str, str]) -> ObsConfig:
+    enabled = sample = sink = None
+    raw = environ.get("REPRO_TELEMETRY")
+    if raw is not None:
+        enabled = _parse_bool(raw, source="REPRO_TELEMETRY")
+    raw = environ.get("REPRO_OBS_SAMPLE")
+    if raw is not None:
+        sample = float(raw)
+    raw = environ.get("REPRO_OBS_SINK")
+    if raw:
+        sink = raw
+    return ObsConfig(enabled=enabled, sample=sample, sink=sink)
+
+
+def resolve_config(environ: Optional[Mapping[str, str]] = None) -> ObsConfig:
+    """Resolve defaults → config file → environment into a full config."""
+    environ = os.environ if environ is None else environ
+    config = DEFAULT_OBS_CONFIG
+    config = _file_layer(environ).merged_onto(config)
+    config = _env_layer(environ).merged_onto(config)
+    return replace(config)  # defensive copy with validation re-run

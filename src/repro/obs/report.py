@@ -1,0 +1,166 @@
+"""Summaries of telemetry snapshots: counters, gauges, span aggregates, and
+the measured-vs-predicted ledger with ratio distributions per kernel class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["build_report", "render_text", "report_from_trace"]
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _span_rollup(events) -> Dict[str, dict]:
+    rollup: Dict[str, dict] = {}
+    for name, start_ns, end_ns, _pid, _tid, _attrs in events:
+        ms = max(end_ns - start_ns, 0) / 1e6
+        cell = rollup.get(name)
+        if cell is None:
+            rollup[name] = {"count": 1, "total_ms": ms, "max_ms": ms}
+        else:
+            cell["count"] += 1
+            cell["total_ms"] += ms
+            if ms > cell["max_ms"]:
+                cell["max_ms"] = ms
+    for cell in rollup.values():
+        cell["mean_ms"] = cell["total_ms"] / cell["count"]
+    return rollup
+
+
+def _ledger_rollup(ledger) -> Dict[str, dict]:
+    """Ratio distribution (measured / predicted) per kernel class."""
+    grouped: Dict[str, dict] = {}
+    for kernel, measured_ms, predicted_ms in ledger:
+        cell = grouped.setdefault(
+            kernel,
+            {"count": 0, "measured_ms": 0.0, "predicted_ms": 0.0, "_ratios": []},
+        )
+        cell["count"] += 1
+        cell["measured_ms"] += measured_ms
+        cell["predicted_ms"] += predicted_ms
+        if predicted_ms > 0:
+            cell["_ratios"].append(measured_ms / predicted_ms)
+    for cell in grouped.values():
+        ratios = cell.pop("_ratios")
+        if ratios:
+            cell["ratio"] = {
+                "mean": sum(ratios) / len(ratios),
+                "median": _median(ratios),
+                "min": min(ratios),
+                "max": max(ratios),
+                "count": len(ratios),
+            }
+        else:
+            cell["ratio"] = None
+    return grouped
+
+
+def build_report(snapshot: dict) -> dict:
+    """Aggregate a telemetry snapshot into a JSON-serialisable summary."""
+    gauges = {}
+    for name, cell in snapshot.get("gauges", {}).items():
+        last, low, high, total, count = cell
+        gauges[name] = {
+            "last": last,
+            "min": low,
+            "max": high,
+            "mean": total / count if count else 0.0,
+            "count": count,
+        }
+    return {
+        "counters": dict(snapshot.get("counters", {})),
+        "gauges": gauges,
+        "spans": _span_rollup(snapshot.get("events", [])),
+        "ledger": _ledger_rollup(snapshot.get("ledger", [])),
+    }
+
+
+def report_from_trace(trace: dict) -> dict:
+    """Rebuild a report from a saved Chrome trace document."""
+    other = trace.get("otherData", {})
+    events = [
+        (
+            entry["name"],
+            0,
+            int(entry.get("dur", 0.0) * 1000),
+            entry.get("pid", 0),
+            entry.get("tid", 0),
+            entry.get("args"),
+        )
+        for entry in trace.get("traceEvents", [])
+        if entry.get("ph") == "X"
+    ]
+    snapshot = {
+        "events": events,
+        "counters": other.get("counters", {}),
+        "gauges": other.get("gauges", {}),
+        "ledger": [tuple(row) for row in other.get("ledger", [])],
+    }
+    return build_report(snapshot)
+
+
+def render_text(report: dict) -> str:
+    """Human-readable rendering of :func:`build_report` output."""
+    lines: List[str] = []
+
+    spans = report.get("spans", {})
+    if spans:
+        lines.append("spans (aggregated)")
+        lines.append(
+            f"  {'name':<28} {'count':>7} {'total ms':>10} {'mean ms':>9} {'max ms':>9}"
+        )
+        for name in sorted(spans):
+            cell = spans[name]
+            lines.append(
+                f"  {name:<28} {cell['count']:>7} {cell['total_ms']:>10.3f}"
+                f" {cell['mean_ms']:>9.3f} {cell['max_ms']:>9.3f}"
+            )
+
+    counters = report.get("counters", {})
+    if counters:
+        lines.append("counters")
+        for name in sorted(counters):
+            lines.append(f"  {name:<40} {counters[name]:>12g}")
+
+    gauges = report.get("gauges", {})
+    if gauges:
+        lines.append("gauges")
+        for name in sorted(gauges):
+            cell = gauges[name]
+            lines.append(
+                f"  {name:<32} last={cell['last']:.4g} min={cell['min']:.4g}"
+                f" max={cell['max']:.4g} mean={cell['mean']:.4g} n={cell['count']}"
+            )
+
+    ledger = report.get("ledger", {})
+    if ledger:
+        lines.append("measured vs predicted (per kernel class)")
+        lines.append(
+            f"  {'kernel':<14} {'n':>5} {'measured ms':>12} {'predicted ms':>13}"
+            f" {'ratio med':>10} {'ratio mean':>11} {'min':>7} {'max':>8}"
+        )
+        for kernel in sorted(ledger):
+            cell = ledger[kernel]
+            ratio = cell.get("ratio")
+            if ratio:
+                tail = (
+                    f" {ratio['median']:>10.3f} {ratio['mean']:>11.3f}"
+                    f" {ratio['min']:>7.3f} {ratio['max']:>8.3f}"
+                )
+            else:
+                tail = f" {'-':>10} {'-':>11} {'-':>7} {'-':>8}"
+            lines.append(
+                f"  {kernel:<14} {cell['count']:>5} {cell['measured_ms']:>12.3f}"
+                f" {cell['predicted_ms']:>13.3f}{tail}"
+            )
+
+    if not lines:
+        lines.append("telemetry: nothing recorded")
+    return "\n".join(lines)

@@ -1,0 +1,354 @@
+"""Process-wide telemetry registry: spans, counters, gauges, timing ledger.
+
+The registry is default-off and built so the *disabled* path costs a single
+attribute check at every instrumented call site.  Hot code guards itself
+with the idiom::
+
+    tel = _TELEMETRY
+    t0 = tel.enabled and time.perf_counter_ns()
+    ... hot work ...
+    if t0:
+        tel.record_span("context.sweep", t0, time.perf_counter_ns(), batch=n)
+
+so when telemetry is off the only work done is reading ``tel.enabled``
+(a plain instance attribute — no property, no dict lookup through
+``__getattr__``, no string formatting) and one falsy branch.  The
+``span(...)`` context-manager form returns a cached null singleton when
+disabled for the same reason.
+
+Timestamps come from :func:`time.perf_counter_ns` (``CLOCK_MONOTONIC``),
+which on Linux shares an epoch across processes, so spans recorded inside
+spawned shard workers land on the same timeline as the parent's once the
+worker snapshots are merged over the control-plane queue.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+from .config import ObsConfig, layer_config, resolve_config
+
+__all__ = ["Telemetry", "get_telemetry", "configure"]
+
+# Snapshot wire format version (shipped over the shard control plane).
+SNAPSHOT_VERSION = 1
+
+
+class _NullSpan:
+    """Inert context manager handed out while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Live span: records a monotonic event pair on exit."""
+
+    __slots__ = ("_telemetry", "_name", "_attrs", "_start_ns")
+
+    def __init__(self, telemetry: "Telemetry", name: str, attrs) -> None:
+        self._telemetry = telemetry
+        self._name = name
+        self._attrs = attrs
+        self._start_ns = 0
+
+    def __enter__(self) -> "_Span":
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._telemetry._record(
+            self._name, self._start_ns, time.perf_counter_ns(), self._attrs
+        )
+        return False
+
+
+class Telemetry:
+    """Thread-safe event/counter/gauge/ledger registry for one process.
+
+    Most users never construct one: :func:`get_telemetry` returns the
+    process-wide singleton, configured from the layered defaults → config
+    file → environment stack, with per-call overrides applied by
+    ``track_paths`` via :meth:`overridden`.
+    """
+
+    def __init__(self, config: Optional[ObsConfig] = None) -> None:
+        self._lock = threading.Lock()
+        self._events: List[tuple] = []
+        self._counters: Dict[str, float] = {}
+        # name -> [last, min, max, sum, count]
+        self._gauges: Dict[str, List[float]] = {}
+        # (kernel_class, measured_ms, predicted_ms)
+        self._ledger: List[Tuple[str, float, float]] = []
+        self._scope_attrs: Dict[str, object] = {}
+        self._labels: Dict[int, str] = {}
+        self._span_seq = 0
+        self.label: Optional[str] = None
+        self.enabled = False  # plain attribute: the one hot-path check
+        self._sample_stride = 1
+        self.config = DEFAULTS = resolve_config() if config is None else config
+        self._apply(DEFAULTS)
+
+    # -- configuration -------------------------------------------------
+
+    def _apply(self, config: ObsConfig) -> None:
+        self.config = config
+        sample = 1.0 if config.sample is None else config.sample
+        self._sample_stride = max(1, round(1.0 / sample))
+        self.enabled = bool(config.enabled)
+
+    def configure(self, layer=None, **overrides) -> ObsConfig:
+        """Apply a persistent override layer (bool / mapping / ObsConfig)."""
+        if overrides:
+            merged = dict(overrides)
+            if layer is not None:
+                raise TypeError("pass either a layer or keyword overrides")
+            layer = merged
+        self._apply(layer_config(self.config, layer))
+        return self.config
+
+    def overridden(self, layer):
+        """Context manager applying a per-call override, restored on exit."""
+        return _override_scope(self, layer)
+
+    # -- spans ----------------------------------------------------------
+
+    def span(self, name: str, **attrs):
+        """Context manager timing a region; inert singleton when disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, attrs or None)
+
+    def record_span(self, name: str, start_ns: int, end_ns: int, **attrs) -> None:
+        """Record an already-timed monotonic event pair."""
+        if self.enabled:
+            self._record(name, start_ns, end_ns, attrs or None)
+
+    def _record(self, name, start_ns, end_ns, attrs) -> None:
+        with self._lock:
+            self._span_seq += 1
+            if self._sample_stride > 1 and self._span_seq % self._sample_stride:
+                return
+            if self._scope_attrs:
+                attrs = dict(self._scope_attrs, **(attrs or {}))
+            self._events.append(
+                (name, start_ns, end_ns, os.getpid(), threading.get_ident(), attrs)
+            )
+
+    @contextmanager
+    def scope(self, **attrs):
+        """Stamp ``attrs`` onto every span recorded inside the block.
+
+        Used by the sharded runner to tag inline fallback re-runs with
+        ``fallback=True`` without threading a flag through every layer.
+        """
+        with self._lock:
+            previous = self._scope_attrs
+            self._scope_attrs = dict(previous, **attrs)
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._scope_attrs = previous
+
+    # -- counters / gauges / ledger -------------------------------------
+
+    def count(self, name: str, n: float = 1) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        value = float(value)
+        with self._lock:
+            cell = self._gauges.get(name)
+            if cell is None:
+                self._gauges[name] = [value, value, value, value, 1]
+            else:
+                cell[0] = value
+                if value < cell[1]:
+                    cell[1] = value
+                if value > cell[2]:
+                    cell[2] = value
+                cell[3] += value
+                cell[4] += 1
+
+    def ledger(self, kernel: str, measured_ms: float, predicted_ms: float) -> None:
+        """Pair a measured launch with its ``TimingModel`` prediction."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._ledger.append((kernel, float(measured_ms), float(predicted_ms)))
+
+    # -- snapshot / merge / reset ---------------------------------------
+
+    def snapshot(self, reset: bool = False) -> dict:
+        """Picklable copy of everything recorded so far (one process)."""
+        with self._lock:
+            snap = {
+                "version": SNAPSHOT_VERSION,
+                "pid": os.getpid(),
+                "label": self.label,
+                "events": list(self._events),
+                "counters": dict(self._counters),
+                "gauges": {name: list(cell) for name, cell in self._gauges.items()},
+                "ledger": list(self._ledger),
+                "labels": dict(self._labels),
+            }
+            if reset:
+                self._events.clear()
+                self._counters.clear()
+                self._gauges.clear()
+                self._ledger.clear()
+        return snap
+
+    def merge(self, snap: Optional[dict], **extra_attrs) -> None:
+        """Fold another process's snapshot into this registry.
+
+        ``extra_attrs`` are stamped onto every merged span (e.g.
+        ``shard=3``) so worker lanes stay distinguishable in the trace.
+        """
+        if not snap:
+            return
+        events = snap.get("events", ())
+        if extra_attrs:
+            events = [
+                (name, s, e, pid, tid, dict(attrs or {}, **extra_attrs))
+                for (name, s, e, pid, tid, attrs) in events
+            ]
+        with self._lock:
+            self._events.extend(events)
+            for name, value in snap.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, cell in snap.get("gauges", {}).items():
+                mine = self._gauges.get(name)
+                if mine is None:
+                    self._gauges[name] = list(cell)
+                else:
+                    mine[0] = cell[0]
+                    mine[1] = min(mine[1], cell[1])
+                    mine[2] = max(mine[2], cell[2])
+                    mine[3] += cell[3]
+                    mine[4] += cell[4]
+            self._ledger.extend(tuple(row) for row in snap.get("ledger", ()))
+            self._labels.update(snap.get("labels", {}))
+            label = snap.get("label")
+            pid = snap.get("pid")
+            if label and pid:
+                self._labels[pid] = label
+
+    def reset(self) -> None:
+        """Drop all recorded data (configuration is untouched)."""
+        with self._lock:
+            self._events.clear()
+            self._counters.clear()
+            self._gauges.clear()
+            self._ledger.clear()
+            self._labels.clear()
+            self._span_seq = 0
+
+    # -- read access -----------------------------------------------------
+
+    def counters(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._counters)
+
+    def gauges(self) -> Dict[str, dict]:
+        with self._lock:
+            return {
+                name: {
+                    "last": cell[0],
+                    "min": cell[1],
+                    "max": cell[2],
+                    "mean": cell[3] / cell[4],
+                    "count": cell[4],
+                }
+                for name, cell in self._gauges.items()
+            }
+
+    def spans(self) -> List[tuple]:
+        with self._lock:
+            return list(self._events)
+
+    # -- export ----------------------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        from .trace import chrome_trace
+
+        return chrome_trace(self.snapshot())
+
+    def report(self) -> dict:
+        from .report import build_report
+
+        return build_report(self.snapshot())
+
+    def write_trace(self, path) -> None:
+        from .trace import write_trace
+
+        write_trace(self.snapshot(), path)
+
+    def write_report(self, path) -> None:
+        import json
+
+        from .report import build_report
+
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(build_report(self.snapshot()), handle, indent=2)
+            handle.write("\n")
+
+    def write_sink(self, directory: Optional[str] = None) -> Optional[str]:
+        """Write ``trace.json`` + ``report.json`` into the sink directory."""
+        directory = directory or self.config.sink
+        if not directory:
+            return None
+        os.makedirs(directory, exist_ok=True)
+        self.write_trace(os.path.join(directory, "trace.json"))
+        self.write_report(os.path.join(directory, "report.json"))
+        return directory
+
+
+@contextmanager
+def _override_scope(telemetry: Telemetry, layer):
+    if layer is None:
+        yield telemetry
+        return
+    previous = telemetry.config
+    telemetry._apply(layer_config(previous, layer))
+    try:
+        yield telemetry
+    finally:
+        telemetry._apply(previous)
+
+
+_SINGLETON: Optional[Telemetry] = None
+_SINGLETON_LOCK = threading.Lock()
+
+
+def get_telemetry() -> Telemetry:
+    """Return the process-wide registry (created lazily, mutated in place)."""
+    global _SINGLETON
+    if _SINGLETON is None:
+        with _SINGLETON_LOCK:
+            if _SINGLETON is None:
+                _SINGLETON = Telemetry()
+    return _SINGLETON
+
+
+def configure(layer=None, **overrides) -> ObsConfig:
+    """Configure the process-wide registry (see :meth:`Telemetry.configure`)."""
+    return get_telemetry().configure(layer, **overrides)

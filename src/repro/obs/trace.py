@@ -1,0 +1,122 @@
+"""Chrome ``chrome://tracing`` / Perfetto JSON export for telemetry snapshots.
+
+The exported document is the standard Trace Event Format: a
+``{"traceEvents": [...]}`` object whose entries are ``"X"`` (complete)
+events with microsecond ``ts``/``dur`` plus ``"M"`` (metadata) events
+naming each process lane.  Load the file at https://ui.perfetto.dev or in
+``chrome://tracing``; every shard worker appears as its own pid lane on a
+shared monotonic timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+__all__ = ["chrome_trace", "write_trace", "load_trace", "merge_snapshots"]
+
+
+def _span_origin_ns(events: Iterable[tuple]) -> int:
+    starts = [event[1] for event in events]
+    return min(starts) if starts else 0
+
+
+def chrome_trace(snapshot: dict) -> dict:
+    """Render a telemetry snapshot as a Chrome/Perfetto trace document."""
+    events = snapshot.get("events", [])
+    origin = _span_origin_ns(events)
+    labels = dict(snapshot.get("labels", {}))
+    pid = snapshot.get("pid")
+    if pid and pid not in labels:
+        labels[pid] = snapshot.get("label") or f"pid {pid}"
+
+    trace_events = []
+    seen_pids = []
+    for name, start_ns, end_ns, event_pid, tid, attrs in events:
+        if event_pid not in seen_pids:
+            seen_pids.append(event_pid)
+        entry = {
+            "name": name,
+            "ph": "X",
+            "cat": "repro",
+            "ts": (start_ns - origin) / 1000.0,
+            "dur": max(end_ns - start_ns, 0) / 1000.0,
+            "pid": event_pid,
+            "tid": tid,
+        }
+        if attrs:
+            entry["args"] = dict(attrs)
+        trace_events.append(entry)
+
+    for event_pid in seen_pids:
+        label = labels.get(event_pid) or f"pid {event_pid}"
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": event_pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.obs",
+            "origin_ns": origin,
+            "counters": dict(snapshot.get("counters", {})),
+            "gauges": {
+                name: list(cell)
+                for name, cell in snapshot.get("gauges", {}).items()
+            },
+            "ledger": [list(row) for row in snapshot.get("ledger", [])],
+        },
+    }
+
+
+def write_trace(snapshot: dict, path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(snapshot), handle, indent=2)
+        handle.write("\n")
+
+
+def load_trace(path) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def merge_snapshots(parent: dict, children: Iterable[Optional[dict]]) -> dict:
+    """Merge worker snapshots into a parent's without touching a registry."""
+    merged = {
+        "version": parent.get("version", 1),
+        "pid": parent.get("pid"),
+        "label": parent.get("label"),
+        "events": list(parent.get("events", [])),
+        "counters": dict(parent.get("counters", {})),
+        "gauges": {k: list(v) for k, v in parent.get("gauges", {}).items()},
+        "ledger": [tuple(row) for row in parent.get("ledger", [])],
+        "labels": dict(parent.get("labels", {})),
+    }
+    for child in children:
+        if not child:
+            continue
+        merged["events"].extend(child.get("events", ()))
+        for name, value in child.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0) + value
+        for name, cell in child.get("gauges", {}).items():
+            mine = merged["gauges"].get(name)
+            if mine is None:
+                merged["gauges"][name] = list(cell)
+            else:
+                mine[0] = cell[0]
+                mine[1] = min(mine[1], cell[1])
+                mine[2] = max(mine[2], cell[2])
+                mine[3] += cell[3]
+                mine[4] += cell[4]
+        merged["ledger"].extend(tuple(row) for row in child.get("ledger", ()))
+        merged["labels"].update(child.get("labels", {}))
+        if child.get("label") and child.get("pid"):
+            merged["labels"][child["pid"]] = child["label"]
+    return merged

@@ -48,9 +48,14 @@ from multiprocessing import shared_memory
 from typing import Callable, Sequence
 
 from ..errors import ShardError
+from ..obs import get_telemetry
 from .partition import chunk_evenly
 
 __all__ = ["ShardPlan", "partition_paths", "ShardedFleetRunner"]
+
+#: Process-wide telemetry registry; ``enabled`` is a plain attribute so the
+#: disabled hot path costs exactly one attribute check per call site.
+_TELEMETRY = get_telemetry()
 
 
 @dataclass(frozen=True)
@@ -119,6 +124,11 @@ def _shard_worker(task: dict, channel) -> None:
                 channel.put({"kind": "heartbeat", "shard": shard})
 
         threading.Thread(target=beat, daemon=True).start()
+        # Workers record telemetry locally (enabled via the options' telemetry
+        # layer or the inherited environment) and ship the snapshot home on
+        # the result message; the parent merges it into one timeline.
+        telemetry = get_telemetry()
+        telemetry.label = f"shard {shard} worker"
         scheduler = PathScheduler(task["family"], task["options"])
         report = scheduler.track(
             task["starts"],
@@ -127,7 +137,12 @@ def _shard_worker(task: dict, channel) -> None:
             context_buffer=segment.buf if segment is not None else None,
         )
         stop.set()
-        channel.put({"kind": "result", "shard": shard, "report": report})
+        snapshot = telemetry.snapshot(reset=True)
+        if not (snapshot["events"] or snapshot["counters"] or snapshot["ledger"]):
+            snapshot = None
+        channel.put(
+            {"kind": "result", "shard": shard, "report": report, "telemetry": snapshot}
+        )
     except BaseException as error:  # report everything; the parent decides
         stop.set()
         try:
@@ -158,6 +173,8 @@ class _ShardState:
         "last_seen",
         "dead_since",
         "started_at",
+        "span_ns",
+        "telemetry",
         "report",
         "failure",
         "via",
@@ -174,6 +191,8 @@ class _ShardState:
         self.last_seen: float | None = None
         self.dead_since: float | None = None
         self.started_at: float | None = None
+        self.span_ns: int | None = None
+        self.telemetry: dict | None = None
         self.report = None
         self.failure: str | None = None
         self.via = "process"
@@ -216,37 +235,47 @@ class ShardedFleetRunner:
         starts = [list(start) for start in start_values]
         if not starts:
             return TrackManyReport()
-        shard_options = self.options.shard
-        workers = shard_options.resolve_workers()
-        if workers < 1:
-            return self._track_inline(starts, t_start, t_end)
+        tel = _TELEMETRY
+        with tel.overridden(self.options.telemetry):
+            shard_options = self.options.shard
+            workers = shard_options.resolve_workers()
+            if workers < 1:
+                return self._track_inline(starts, t_start, t_end)
 
-        plans = partition_paths(len(starts), workers, shard_options.max_shard_size)
-        worker_options = self.options.override(shard={"workers": 0})
-        payload_error = self._payload_error(worker_options)
-        if payload_error is not None:
-            if not shard_options.fallback_inline:
-                raise ShardError(
-                    f"the fleet cannot be sharded across processes: {payload_error}"
+            plans = partition_paths(len(starts), workers, shard_options.max_shard_size)
+            worker_options = self.options.override(shard={"workers": 0})
+            payload_error = self._payload_error(worker_options)
+            if payload_error is not None:
+                if not shard_options.fallback_inline:
+                    raise ShardError(
+                        f"the fleet cannot be sharded across processes: {payload_error}"
+                    )
+                if tel.enabled:
+                    tel.count("shard.fallbacks")
+                with tel.scope(fallback=True):
+                    report = self._track_inline(starts, t_start, t_end)
+                report.shards.append(
+                    {
+                        "shard": 0,
+                        "paths": len(starts),
+                        "via": "inline-fallback",
+                        "reason": payload_error,
+                    }
                 )
-            report = self._track_inline(starts, t_start, t_end)
-            report.shards.append(
-                {
-                    "shard": 0,
-                    "paths": len(starts),
-                    "via": "inline-fallback",
-                    "reason": payload_error,
-                }
-            )
-            return report
+                return report
 
-        states = self._prepare(plans, starts, t_start, worker_options)
-        try:
-            self._run_control_plane(states, t_start, t_end, worker_options, workers)
-        finally:
-            self._cleanup(states)
-        self._resolve_failures(states, t_start, t_end, worker_options)
-        return self._merge(states, len(starts))
+            t0 = tel.enabled and time.perf_counter_ns()
+            states = self._prepare(plans, starts, t_start, worker_options)
+            if t0:
+                tel.record_span(
+                    "shard.prepare", t0, time.perf_counter_ns(), shards=len(states)
+                )
+            try:
+                self._run_control_plane(states, t_start, t_end, worker_options, workers)
+            finally:
+                self._cleanup(states)
+            self._resolve_failures(states, t_start, t_end, worker_options)
+            return self._merge(states, len(starts))
 
     # ------------------------------------------------------------------ #
     def _track_inline(self, starts, t_start, t_end):
@@ -338,6 +367,7 @@ class ShardedFleetRunner:
         (inline re-run or raise) happens afterwards.
         """
         shard_opts = self.options.shard
+        tel = _TELEMETRY
         context = multiprocessing.get_context("spawn")
         channel = context.Queue()
         by_shard = {state.plan.shard: state for state in states}
@@ -353,8 +383,11 @@ class ShardedFleetRunner:
                     )
                     state.started_at = time.monotonic()
                     state.last_seen = state.started_at
+                    state.span_ns = time.perf_counter_ns()
                     state.process.start()
                     live[state.plan.shard] = state
+                    if tel.enabled:
+                        tel.count("shard.workers_spawned")
                 try:
                     message = channel.get(timeout=0.2)
                 except queue_module.Empty:
@@ -362,27 +395,54 @@ class ShardedFleetRunner:
                 if message is not None:
                     state = by_shard.get(message.get("shard"))
                     if state is not None and state.plan.shard in live:
-                        state.last_seen = time.monotonic()
+                        now = time.monotonic()
                         kind = message["kind"]
+                        if (
+                            kind == "heartbeat"
+                            and tel.enabled
+                            and state.last_seen is not None
+                        ):
+                            # Gap since the worker's previous sign of life —
+                            # the parent-observed heartbeat latency.
+                            tel.gauge("shard.heartbeat_latency_s", now - state.last_seen)
+                        state.last_seen = now
                         if kind == "ready":
                             state.ready = True
                         elif kind == "result":
                             state.report = message["report"]
-                            state.elapsed_s = time.monotonic() - state.started_at
+                            state.telemetry = message.get("telemetry")
+                            state.elapsed_s = now - state.started_at
                             live.pop(state.plan.shard)
+                            self._record_worker_span(state, "result")
                         elif kind == "error":
                             state.failure = message["message"]
-                            state.elapsed_s = time.monotonic() - state.started_at
+                            state.elapsed_s = now - state.started_at
                             live.pop(state.plan.shard)
+                            self._record_worker_span(state, "error")
                 for shard, state in list(live.items()):
                     reason = self._liveness_failure(state, shard_opts)
                     if reason is not None:
                         state.failure = reason
                         state.elapsed_s = time.monotonic() - state.started_at
                         live.pop(shard)
+                        self._record_worker_span(state, "dead")
         finally:
             channel.close()
             channel.join_thread()
+
+    @staticmethod
+    def _record_worker_span(state: _ShardState, outcome: str) -> None:
+        """One parent-side span covering a worker's whole lifecycle."""
+        tel = _TELEMETRY
+        if tel.enabled and state.span_ns is not None:
+            tel.record_span(
+                "shard.worker",
+                state.span_ns,
+                time.perf_counter_ns(),
+                shard=state.plan.shard,
+                paths=state.plan.n_paths,
+                outcome=outcome,
+            )
 
     @staticmethod
     def _liveness_failure(state: _ShardState, shard_opts) -> str | None:
@@ -411,6 +471,7 @@ class ShardedFleetRunner:
         """Re-run failed shards inline (or raise, per the fallback policy)."""
         from ..homotopy.scheduler import PathScheduler
 
+        tel = _TELEMETRY
         for state in states:
             if state.report is not None:
                 continue
@@ -419,9 +480,15 @@ class ShardedFleetRunner:
                     f"shard {state.plan.shard} failed without inline fallback: "
                     f"{state.failure or 'no result received'}"
                 )
+            if tel.enabled:
+                tel.count("shard.fallbacks")
             began = time.monotonic()
             scheduler = PathScheduler(self.system_family, worker_options)
-            state.report = scheduler.track(state.starts, t_start, t_end)
+            # Every span the re-run records — sweeps, solves, rounds — is
+            # stamped ``fallback=True`` so the merged trace keeps the
+            # degraded shard distinguishable from healthy worker lanes.
+            with tel.scope(fallback=True, shard=state.plan.shard):
+                state.report = scheduler.track(state.starts, t_start, t_end)
             state.elapsed_s = time.monotonic() - began
             state.via = "inline-fallback"
 
@@ -444,9 +511,28 @@ class ShardedFleetRunner:
         """Stitch the per-shard reports back together in input order."""
         from ..homotopy.scheduler import TrackManyReport
 
+        tel = _TELEMETRY
         merged = TrackManyReport(results=[None] * n_paths, statuses=[None] * n_paths)
+        cache_totals = {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "build_waits": 0,
+            "per_shard": [],
+        }
         for state in states:
             report = state.report
+            # Fold the worker's telemetry snapshot into the parent registry:
+            # same monotonic clock, own pid lane, shard attribute stamped on
+            # every span — one merged timeline across the whole fleet.
+            if state.telemetry is not None:
+                tel.merge(state.telemetry, shard=state.plan.shard)
+            if report.cache:
+                for key in ("hits", "misses", "evictions", "build_waits"):
+                    cache_totals[key] += report.cache.get(key, 0)
+                cache_totals["per_shard"].append(
+                    {"shard": state.plan.shard, **report.cache}
+                )
             for local_index, global_index in enumerate(state.plan.indices):
                 merged.results[global_index] = report.results[local_index]
                 merged.statuses[global_index] = dataclasses.replace(
@@ -470,4 +556,5 @@ class ShardedFleetRunner:
                     "elapsed_s": state.elapsed_s,
                 }
             )
+        merged.cache = cache_totals
         return merged

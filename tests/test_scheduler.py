@@ -248,6 +248,22 @@ class TestDeprecationShims:
         with pytest.raises(ValueError, match="not both"):
             newton_power_series(system, start, max_iterations=5, options=NewtonOptions())
 
+    def test_deprecation_warnings_point_at_the_caller(self):
+        """Every shim warns with ``stacklevel=2``: the reported location is
+        this file — the caller — never the library frame that raised it."""
+        degree = 4
+        system = sqrt_family(0.0, degree)
+        start = [PowerSeries.constant(1.0, degree)]
+        with pytest.warns(DeprecationWarning) as record:
+            newton_power_series(system, start, max_iterations=3)
+        assert [w.filename for w in record] == [__file__]
+        with pytest.warns(DeprecationWarning) as record:
+            newton_power_series_batch(system, [start], max_iterations=3)
+        assert [w.filename for w in record] == [__file__]
+        with pytest.warns(DeprecationWarning) as record:
+            TaylorPathTracker(sqrt_family, degree=degree)
+        assert [w.filename for w in record] == [__file__]
+
 
 # --------------------------------------------------------------------- #
 # the adaptive scheduler

@@ -187,6 +187,7 @@ class TestScheduleCache:
         assert a.fused is b.fused
         assert cache.stats() == {
             "entries": 1, "maxsize": 128, "hits": 1, "misses": 1, "hit_rate": 0.5,
+            "evictions": 0, "build_waits": 0,
         }
 
     def test_lru_eviction(self, rng):
@@ -199,6 +200,62 @@ class TestScheduleCache:
         stats = cache.stats()
         assert stats["entries"] == 1
         assert stats["misses"] == 3 and stats["hits"] == 0
+        # Each restage evicted the previous resident entry.
+        assert stats["evictions"] == 2
+
+    def test_eviction_accounting_under_lru_bound(self, rng):
+        """Every entry pushed past ``maxsize`` counts exactly one eviction."""
+        cache = ScheduleCache(maxsize=2)
+        systems = [
+            _make_system("float", rng, equations=n) for n in (1, 2, 3, 4)
+        ]
+        for polynomials in systems:
+            SystemEvaluator(polynomials, cache=cache)
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["misses"] == 4
+        assert stats["evictions"] == 2
+        # Touching a survivor is a hit and never evicts.
+        SystemEvaluator(systems[-1], cache=cache)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["evictions"] == 2
+
+    def test_install_entries_eviction_accounting(self, rng):
+        donor = ScheduleCache()
+        for n in (1, 2, 3):
+            SystemEvaluator(_make_system("float", rng, equations=n), cache=donor)
+        cache = ScheduleCache(maxsize=2)
+        cache.install_entries(donor.export_entries())
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 1
+        # Installed entries are neither hits nor misses.
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+    def test_build_wait_accounting(self, rng):
+        """Threads racing on one key record build waits for the losers."""
+        import threading
+
+        cache = ScheduleCache()
+        polynomials = _make_system("float", rng)
+        barrier = threading.Barrier(4)
+
+        def build():
+            barrier.wait()
+            SystemEvaluator(polynomials, cache=cache)
+
+        threads = [threading.Thread(target=build) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 3
+        # Racers that queued on the in-flight build are counted; threads that
+        # arrived after the entry landed hit on the fast path instead.
+        assert 0 <= stats["build_waits"] <= 3
+        assert stats["build_waits"] + stats["misses"] <= 4
 
     def test_newton_clients_share_staging_across_rebuilds(self):
         """Rebuilding a structurally identical system hits the cache."""
