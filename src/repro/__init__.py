@@ -31,6 +31,9 @@ The package is organised in layers (see DESIGN.md for the full inventory):
     and the measured-vs-predicted timing ledger (default-off).
 ``repro.homotopy``
     The motivating application: power-series Newton and a small path tracker.
+``repro.service``
+    The coalescing asynchronous solve service: micro-batched Newton/track
+    requests merged into packed tensor batches on pooled resident contexts.
 ``repro.analysis``
     Drivers that regenerate every table and figure of the evaluation section.
 
@@ -56,6 +59,8 @@ from .errors import (
     SingularSystemError,
     ParseError,
     ShardError,
+    ServiceError,
+    ServiceOverloadedError,
 )
 from .md import MultiDouble, MDArray, ComplexMD, ComplexMDArray, Precision, get_precision
 from .series import PowerSeries, MDSeries
@@ -95,6 +100,15 @@ from .homotopy import (
 )
 from .parallel import ShardedFleetRunner
 from .obs import ObsConfig, Telemetry, get_telemetry
+from .service import (
+    ContextPool,
+    ServiceConfig,
+    SolveEngine,
+    SolveRequest,
+    SolveResponse,
+    TrackRequest,
+    resolve_service_config,
+)
 
 __all__ = [
     "__version__",
@@ -107,6 +121,8 @@ __all__ = [
     "SingularSystemError",
     "ParseError",
     "ShardError",
+    "ServiceError",
+    "ServiceOverloadedError",
     "MultiDouble",
     "MDArray",
     "ComplexMD",
@@ -152,4 +168,11 @@ __all__ = [
     "ObsConfig",
     "Telemetry",
     "get_telemetry",
+    "SolveEngine",
+    "SolveRequest",
+    "SolveResponse",
+    "TrackRequest",
+    "ServiceConfig",
+    "ContextPool",
+    "resolve_service_config",
 ]

@@ -18,6 +18,8 @@ __all__ = [
     "SingularSystemError",
     "ParseError",
     "ShardError",
+    "ServiceError",
+    "ServiceOverloadedError",
 ]
 
 
@@ -63,4 +65,16 @@ class ShardError(ReproError, RuntimeError):
 
     Raised only when ``ShardOptions.fallback_inline`` is off; with the
     fallback enabled a failed shard degrades to an inline re-run instead.
+    """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The solve service could not accept or complete a request."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected a request (queue depth at the limit).
+
+    The backpressure signal of :class:`repro.service.SolveEngine`: clients
+    should retry later (the HTTP front end maps this to ``429``).
     """

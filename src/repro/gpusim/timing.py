@@ -338,6 +338,54 @@ class TimingModel:
             "break_even_steps": break_even,
         }
 
+    def predict_coalesce(
+        self,
+        schedule,
+        requests: int,
+        steps: int = 1,
+        planes: int = 1,
+    ) -> dict:
+        """Price coalescing ``requests`` solves into one resident batch.
+
+        Models the micro-batching merge of :class:`repro.service.SolveEngine`:
+        ``requests`` structurally identical Newton solves of ``steps`` sweeps
+        each either run **coalesced** — one resident batch-``requests``
+        fleet, so every kernel launch carries ``requests`` times the blocks
+        but the per-launch overhead and the full input transfer are paid
+        once per step instead of once per request — or **sequentially**,
+        each request its own batch-1 resident run paying its own launch
+        overhead and transfers.  The gap between the two is the throughput
+        the service's coalescing window buys, and what the ``coalesce``
+        ledger entries compare measured flushes against.
+
+        ``schedule`` must be a fused
+        :class:`repro.core.FusedSystemSchedule`; ``planes = 2`` accounts
+        complex data.
+        """
+        if requests < 1:
+            raise ValueError(f"requests must be >= 1, got {requests}")
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        coalesced = self.predict_resident(
+            schedule, batch=requests, steps=steps, planes=planes
+        )
+        solo = self.predict_resident(schedule, batch=1, steps=steps, planes=planes)
+        coalesced_wall = coalesced["resident_wall_ms"]
+        sequential_wall = requests * solo["resident_wall_ms"]
+        return {
+            "requests": requests,
+            "steps": steps,
+            "planes": planes,
+            "coalesced_wall_ms": coalesced_wall,
+            "sequential_wall_ms": sequential_wall,
+            "per_request_ms": coalesced_wall / requests,
+            "solo_wall_ms": solo["resident_wall_ms"],
+            "saved_ms": sequential_wall - coalesced_wall,
+            "speedup": (
+                sequential_wall / coalesced_wall if coalesced_wall > 0.0 else math.inf
+            ),
+        }
+
     def predict_solve(self, dimension: int, degree: int, batch: int = 1) -> TimingReport:
         """Predicted launch sequence of one batched series linear solve.
 

@@ -1,0 +1,48 @@
+"""The coalescing asynchronous solve service.
+
+Heavy solve traffic repeats structure: a path-tracking client posts
+thousands of Newton refinements of the *same* polynomial system shape with
+different coefficient values, and each solo solve re-pays staging, packing
+and per-sweep overhead that a batched run amortises.  This package turns
+that observation into a service:
+
+* :class:`SolveEngine` — the asyncio engine: admission control, per-structure
+  micro-batching windows, and flushes that merge every structurally
+  identical in-window request into one packed tensor batch (bit-identical
+  per lane to solving alone);
+* :class:`ContextPool` — structure-keyed residency: warm
+  :class:`repro.core.EvalContext` objects re-targeted by ``rebind_fleet``
+  so repeat traffic packs once and never again;
+* :class:`ServiceConfig` / :func:`resolve_service_config` — layered
+  configuration (defaults → ``REPRO_SERVICE_CONFIG`` file →
+  ``REPRO_SERVICE_*`` environment → engine overrides → per-request
+  overrides);
+* :class:`ServiceServer` (:mod:`repro.service.http`) and the
+  ``python -m repro.service`` CLI — the HTTP front door.
+
+See the README's "Solve service" section and ``examples/serve_demo.py``.
+"""
+
+from .api import SolveRequest, SolveResponse, TrackRequest
+from .config import (
+    DEFAULT_SERVICE_CONFIG,
+    ServiceConfig,
+    coerce_service_layer,
+    resolve_service_config,
+)
+from .engine import SolveEngine
+from .fleet import coalesced_newton
+from .pool import ContextPool
+
+__all__ = [
+    "SolveEngine",
+    "SolveRequest",
+    "SolveResponse",
+    "TrackRequest",
+    "ServiceConfig",
+    "DEFAULT_SERVICE_CONFIG",
+    "ContextPool",
+    "coalesced_newton",
+    "coerce_service_layer",
+    "resolve_service_config",
+]

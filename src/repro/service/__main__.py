@@ -1,0 +1,89 @@
+"""CLI of the solve service: ``python -m repro.service serve|config``."""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from .config import resolve_service_config
+from .http import serve
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, help="bind port (0 = ephemeral)")
+    parser.add_argument(
+        "--window-ms",
+        type=float,
+        dest="window_ms",
+        help="micro-batching window in milliseconds (0 = no coalescing)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        dest="max_batch",
+        help="lane count of the pooled resident contexts",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        dest="max_queue",
+        help="admission bound (reject with 429 beyond this many queued)",
+    )
+    parser.add_argument(
+        "--pool-structures",
+        type=int,
+        dest="pool_structures",
+        help="LRU bound on warm structures in the context pool",
+    )
+    parser.add_argument("--mode", help="execution mode (default vectorized)")
+    parser.add_argument(
+        "--workers", type=int, help="flush executor threads (default 4)"
+    )
+
+
+def _overrides(args: argparse.Namespace) -> dict:
+    names = (
+        "host", "port", "window_ms", "max_batch", "max_queue",
+        "pool_structures", "mode", "workers",
+    )
+    return {
+        name: getattr(args, name)
+        for name in names
+        if getattr(args, name, None) is not None
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="The coalescing Newton-solve service.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    serve_parser = commands.add_parser(
+        "serve", help="run the HTTP solve service until interrupted"
+    )
+    _add_config_arguments(serve_parser)
+    config_parser = commands.add_parser(
+        "config",
+        help="print the resolved layered configuration "
+        "(defaults -> file -> environment -> flags) as JSON",
+    )
+    _add_config_arguments(config_parser)
+    args = parser.parse_args(argv)
+    overrides = _overrides(args)
+    if args.command == "config":
+        config = resolve_service_config(**overrides)
+        print(json.dumps(config.as_dict(), indent=2, sort_keys=True))
+        return 0
+    try:
+        asyncio.run(serve(**overrides))
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
